@@ -1,0 +1,178 @@
+(* Benchmark harness.
+
+   Two things happen here:
+
+   1. Bechamel micro/meso-benchmarks — one Test.make per paper artefact
+      (Table 1, the remap table, Figures 3-6) measuring the real execution
+      cost of the code paths that regenerate it, plus a few core-operation
+      microbenchmarks. These quantify the *simulator*.
+
+   2. The full reproduction printout: every table and figure of the paper,
+      simulated-time results next to the paper's numbers. These quantify
+      the *reproduction*.
+*)
+
+open Bechamel
+open Fbufs_sim
+open Fbufs
+module Msg = Fbufs_msg.Msg
+module Ipc = Fbufs_ipc.Ipc
+module H = Fbufs_harness
+module Testbed = H.Testbed
+module Testproto = Fbufs_protocols.Testproto
+
+(* ---------- steady-state fixtures reused across benchmark runs -------- *)
+
+let roundtrip_fixture variant =
+  let tb = Testbed.create () in
+  let app = Testbed.user_domain tb "app" in
+  let recv = Testbed.user_domain tb "recv" in
+  let alloc = Testbed.allocator tb ~domains:[ app; recv ] variant in
+  let conn = Ipc.connect tb.Testbed.region ~src:app ~dst:recv () in
+  fun bytes ->
+    let msg = Testproto.make_message ~alloc ~as_:app ~bytes () in
+    Ipc.call conn msg ~handler:(fun received ->
+        Msg.touch_read received ~as_:recv;
+        Ipc.free_deferred conn received);
+    Msg.free_all msg ~dom:app
+
+let bench_table1 =
+  let rt = roundtrip_fixture Fbuf.cached_volatile in
+  Test.make ~name:"table1: cached/volatile 8-page roundtrip"
+    (Staged.stage (fun () -> rt (8 * 4096)))
+
+let bench_remap =
+  let open Fbufs_vm in
+  let m = Machine.create ~nframes:4096 () in
+  let a = Pd.create m "a" and b = Pd.create m "b" in
+  let npages = 16 in
+  let vpn_a = Remap.alloc_pages a ~npages ~clear_fraction:0.0 in
+  let vpn_b = Vm_map.reserve_private b.Pd.map ~npages in
+  ignore (Remap.move ~src:a ~dst:b ~src_vpn:vpn_a ~npages ~dst_vpn:vpn_b ());
+  Test.make ~name:"remap: 16-page ping-pong round"
+    (Staged.stage (fun () ->
+         ignore
+           (Remap.move ~src:b ~dst:a ~src_vpn:vpn_b ~npages ~dst_vpn:vpn_a ());
+         ignore
+           (Remap.move ~src:a ~dst:b ~src_vpn:vpn_a ~npages ~dst_vpn:vpn_b ())))
+
+let bench_fig3 =
+  let rt = roundtrip_fixture Fbuf.volatile_only in
+  Test.make ~name:"fig3: 64K volatile transfer"
+    (Staged.stage (fun () -> rt 65536))
+
+let bench_fig4 =
+  let stack = H.Stacks.three_domains () in
+  Test.make ~name:"fig4: 16K message through 3-domain loopback stack"
+    (Staged.stage (fun () ->
+         let msg =
+           Testproto.make_message ~alloc:stack.H.Stacks.data_alloc
+             ~as_:stack.H.Stacks.sender_dom ~bytes:16384 ()
+         in
+         stack.H.Stacks.send msg))
+
+let bench_fig5 =
+  Test.make ~name:"fig5: end-to-end user-user 64K run (4 msgs)"
+    (Staged.stage (fun () ->
+         ignore
+           (H.Exp_fig5.run_one ~uncached:false ~config:H.Exp_fig5.User_user
+              ~bytes:65536 ~nmsgs:4 ())))
+
+let bench_fig6 =
+  Test.make ~name:"fig6: end-to-end user-user 64K run, uncached (4 msgs)"
+    (Staged.stage (fun () ->
+         ignore
+           (H.Exp_fig5.run_one ~uncached:true ~config:H.Exp_fig5.User_user
+              ~bytes:65536 ~nmsgs:4 ())))
+
+let bench_access =
+  let m = Machine.create ~nframes:64 () in
+  let d = Fbufs_vm.Pd.create m "bench" in
+  let vpn = Fbufs_vm.Vm_map.reserve_private d.Fbufs_vm.Pd.map ~npages:4 in
+  Fbufs_vm.Vm_map.map_zero_fill d.Fbufs_vm.Pd.map ~vpn ~npages:4;
+  let va = vpn * 4096 in
+  Fbufs_vm.Access.write_word d ~vaddr:va 1;
+  Test.make ~name:"micro: charged word access (TLB hit)"
+    (Staged.stage (fun () -> ignore (Fbufs_vm.Access.read_word d ~vaddr:va)))
+
+let bench_msg_ops =
+  let tb = Testbed.create () in
+  let app = Testbed.user_domain tb "app" in
+  let alloc = Testbed.allocator tb ~domains:[ app ] Fbuf.cached_volatile in
+  let fb = Allocator.alloc alloc ~npages:4 in
+  let msg = Msg.of_fbuf fb ~off:0 ~len:16384 in
+  Test.make ~name:"micro: message split+join at 4K"
+    (Staged.stage (fun () ->
+         let a, b = Msg.split msg 4096 in
+         ignore (Msg.join a b)))
+
+let bench_integrated =
+  let tb = Testbed.create () in
+  let app = Testbed.user_domain tb "app" in
+  let alloc = Testbed.allocator tb ~domains:[ app ] Fbuf.cached_volatile in
+  let fbs = List.init 8 (fun _ -> Allocator.alloc alloc ~npages:1) in
+  let msg =
+    List.fold_left
+      (fun acc fb -> Msg.join acc (Msg.of_fbuf fb ~off:0 ~len:4096))
+      Msg.empty fbs
+  in
+  let meta = Allocator.alloc alloc ~npages:1 in
+  Test.make ~name:"micro: integrated DAG serialize (8 leaves)"
+    (Staged.stage (fun () ->
+         ignore (Fbufs_msg.Integrated.serialize msg ~meta ~as_:app)))
+
+let benchmarks () =
+  let tests =
+    [
+      bench_table1;
+      bench_remap;
+      bench_fig3;
+      bench_fig4;
+      bench_fig5;
+      bench_fig6;
+      bench_access;
+      bench_msg_ops;
+      bench_integrated;
+    ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  print_endline "== Bechamel: real execution cost of the harness ==";
+  Printf.printf "%-52s  %14s\n" "benchmark" "ns/run";
+  print_endline (String.make 70 '-');
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let est =
+            match Analyze.OLS.estimates ols_result with
+            | Some (e :: _) -> Printf.sprintf "%14.1f" e
+            | Some [] | None -> "             -"
+          in
+          Printf.printf "%-52s  %s\n" name est)
+        analyzed)
+    tests;
+  print_newline ()
+
+(* ---------- full reproduction ----------------------------------------- *)
+
+let reproduce () =
+  H.Exp_table1.print (H.Exp_table1.run ());
+  H.Exp_remap.print (H.Exp_remap.run ());
+  H.Exp_fig3.print (H.Exp_fig3.run ());
+  H.Exp_fig4.print (H.Exp_fig4.run ());
+  print_endline "\n-- Figure 5 (cached/volatile fbufs) --";
+  H.Exp_fig5.print (H.Exp_fig5.run ~uncached:false ());
+  print_endline "\n-- Figure 6 (uncached, non-volatile fbufs) --";
+  H.Exp_fig5.print (H.Exp_fig5.run ~uncached:true ())
+
+let () =
+  benchmarks ();
+  reproduce ()

@@ -1,0 +1,62 @@
+(* Command-line driver: regenerate any of the paper's tables and figures,
+   run ablations, or dump the cost model. *)
+
+open Cmdliner
+module H = Fbufs_harness
+
+let table1 zero =
+  H.Exp_table1.print (H.Exp_table1.run ~zero_on_alloc:zero ())
+
+let remap () = H.Exp_remap.print (H.Exp_remap.run ())
+let fig3 () = H.Exp_fig3.print (H.Exp_fig3.run ())
+let fig4 () = H.Exp_fig4.print (H.Exp_fig4.run ())
+let fig5 () = H.Exp_fig5.print (H.Exp_fig5.run ~uncached:false ())
+let fig6 () = H.Exp_fig5.print (H.Exp_fig5.run ~uncached:true ())
+
+let ablations () = H.Ablation.run_all ()
+
+let info_cmd () =
+  Format.printf "DecStation 5000/200 cost model:@.%a@."
+    Fbufs_sim.Cost_model.pp Fbufs_sim.Cost_model.decstation_5000_200
+
+let all zero =
+  table1 zero;
+  remap ();
+  fig3 ();
+  fig4 ();
+  fig5 ();
+  fig6 ()
+
+let zero_flag =
+  let doc =
+    "Enable security clearing (57us/page) of uncached allocations; the \
+     paper's Table 1 excludes this cost."
+  in
+  Arg.(value & flag & info [ "zero-on-alloc" ] ~doc)
+
+let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
+
+let cmds =
+  [
+    cmd "table1" "Table 1: per-page transfer costs"
+      Term.(const table1 $ zero_flag);
+    cmd "remap" "Section 2.2.1: DASH-style remap measurements"
+      Term.(const remap $ const ());
+    cmd "fig3" "Figure 3: single-boundary throughput vs message size"
+      Term.(const fig3 $ const ());
+    cmd "fig4" "Figure 4: UDP/IP loopback throughput"
+      Term.(const fig4 $ const ());
+    cmd "fig5" "Figure 5: end-to-end throughput, cached/volatile fbufs"
+      Term.(const fig5 $ const ());
+    cmd "fig6" "Figure 6: end-to-end throughput, uncached fbufs"
+      Term.(const fig6 $ const ());
+    cmd "ablation" "Design-choice ablations (DESIGN.md section 6)"
+      Term.(const ablations $ const ());
+    cmd "info" "Print the calibrated cost model"
+      Term.(const info_cmd $ const ());
+    cmd "all" "Run every experiment" Term.(const all $ zero_flag);
+  ]
+
+let () =
+  let doc = "fbufs (SOSP '93) reproduction: experiments and ablations" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "fbufs_cli" ~doc) cmds))

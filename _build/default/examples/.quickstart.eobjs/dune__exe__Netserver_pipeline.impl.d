@@ -1,0 +1,1 @@
+examples/netserver_pipeline.ml: Fbufs Fbufs_harness Fbufs_ipc Fbufs_msg Fbufs_protocols Fbufs_sim Machine Printf Stats

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Allocator Fbuf Fbuf_api Fbufs Fbufs_harness Fbufs_sim Fbufs_vm List Machine Printf Stats Transfer Vm_map

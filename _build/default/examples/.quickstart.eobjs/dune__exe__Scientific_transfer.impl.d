@@ -1,0 +1,1 @@
+examples/scientific_transfer.ml: Allocator Bytes Fbuf Fbuf_api Fbufs Fbufs_harness Fbufs_ipc Fbufs_msg Fbufs_sim Machine Printf Rng Stats

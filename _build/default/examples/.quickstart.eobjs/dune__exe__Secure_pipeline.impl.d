@@ -1,0 +1,1 @@
+examples/secure_pipeline.ml: Allocator Bytes Char Fbuf Fbuf_api Fbufs Fbufs_harness Fbufs_ipc Fbufs_msg Fbufs_vm List Printf String Transfer Vm_map

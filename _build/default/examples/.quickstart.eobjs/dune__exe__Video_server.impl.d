@@ -1,0 +1,1 @@
+examples/video_server.ml: Fbuf Fbufs Fbufs_harness Fbufs_ipc Fbufs_msg Fbufs_protocols Fbufs_sim Machine Printf

@@ -1,0 +1,76 @@
+(* Quickstart: the fbuf mechanism in five minutes.
+
+   Creates a simulated host with a kernel and two user protection domains,
+   sets up an I/O data path between them, and transfers data with
+   cached/volatile fbufs — showing the one-time setup cost, the free reuse,
+   the protection semantics, and the simulated-time accounting.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Fbufs_sim
+open Fbufs_vm
+open Fbufs
+module Testbed = Fbufs_harness.Testbed
+
+let () =
+  (* A DecStation-5000/200-class machine with a kernel and an fbuf region. *)
+  let tb = Testbed.create () in
+  let m = tb.Testbed.m in
+  let producer = Testbed.user_domain tb "producer" in
+  let consumer = Testbed.user_domain tb "consumer" in
+
+  (* Buffers are allocated for a known I/O data path (originator first). *)
+  let alloc = Testbed.allocator tb ~domains:[ producer; consumer ] Fbuf.cached_volatile in
+
+  Printf.printf "-- first transfer (cold: pays allocation + mapping) --\n";
+  let t0 = Machine.now m in
+  let fb = Allocator.alloc alloc ~npages:2 in
+  Fbuf_api.write fb ~as_:producer ~off:0 "hello from the producer domain";
+  Transfer.send fb ~src:producer ~dst:consumer;
+  let seen = Fbuf_api.read_string fb ~as_:consumer ~off:0 ~len:30 in
+  Printf.printf "consumer read: %S\n" seen;
+  Printf.printf "same virtual address in both domains: %#x\n" (Fbuf.vaddr fb);
+  Transfer.free fb ~dom:consumer;
+  Transfer.free fb ~dom:producer;
+  Printf.printf "cold transfer took %.1f simulated us\n\n" (Machine.now m -. t0);
+
+  Printf.printf "-- second transfer (warm: cached fbuf, no VM work) --\n";
+  let t0 = Machine.now m in
+  let fb2 = Allocator.alloc alloc ~npages:2 in
+  Printf.printf "reused the same buffer: %b\n" (Fbuf.vaddr fb2 = Fbuf.vaddr fb);
+  Fbuf_api.write fb2 ~as_:producer ~off:0 "round two, no page tables touched";
+  Transfer.send fb2 ~src:producer ~dst:consumer;
+  ignore (Fbuf_api.read_string fb2 ~as_:consumer ~off:0 ~len:33);
+  Transfer.free fb2 ~dom:consumer;
+  Transfer.free fb2 ~dom:producer;
+  Printf.printf "warm transfer took %.1f simulated us\n\n" (Machine.now m -. t0);
+
+  Printf.printf "-- protection: receivers are read-only --\n";
+  let fb3 = Allocator.alloc alloc ~npages:1 in
+  Transfer.send fb3 ~src:producer ~dst:consumer;
+  (try
+     Fbuf_api.set_word fb3 ~as_:consumer ~off:0 42;
+     print_endline "BUG: write went through"
+   with Vm_map.Protection_violation v ->
+     Printf.printf "consumer write to %#x faulted, as it must\n" v.vaddr);
+
+  Printf.printf "\n-- volatile fbufs and securing --\n";
+  Fbuf_api.set_word fb3 ~as_:producer ~off:0 1;
+  Printf.printf "producer can still write (volatile): word = %d\n"
+    (Fbuf_api.word_at fb3 ~as_:consumer ~off:0);
+  Transfer.secure fb3;
+  (try
+     Fbuf_api.set_word fb3 ~as_:producer ~off:0 2;
+     print_endline "BUG: write went through"
+   with Vm_map.Protection_violation _ ->
+     print_endline "after secure, the producer's write faults too");
+  Transfer.free fb3 ~dom:consumer;
+  Transfer.free fb3 ~dom:producer;
+
+  Printf.printf "\n-- machine counters --\n";
+  List.iter
+    (fun k -> Printf.printf "%-24s %d\n" k (Stats.get m.Machine.stats k))
+    [
+      "fbuf.alloc_fresh"; "fbuf.alloc_cached_hit"; "fbuf.send";
+      "fbuf.lazy_map"; "pmap.enter"; "tlb.miss"; "vm.fault";
+    ]

@@ -1,0 +1,123 @@
+(* A presentation layer under an untrusted producer.
+
+   Section 2.1.3 of the paper: layers never modify buffers in place — "an
+   intermediate layer that needs to modify the data in the buffer instead
+   allocates and writes to a new buffer" — and a receiver that *interprets*
+   data from an untrusted originator first secures the buffer so the
+   originator cannot change it underneath (the volatile-fbuf contract).
+
+   The pipeline: an untrusted application produces records; a cipher
+   service in its own domain secures each input buffer, validates a framing
+   header, and encrypts into a freshly allocated output buffer on the
+   downstream path; a store domain consumes the ciphertext. A malicious
+   producer that scribbles on its buffer after sending is caught by the
+   secure step.
+
+   Run with: dune exec examples/secure_pipeline.exe *)
+
+open Fbufs_vm
+open Fbufs
+module Msg = Fbufs_msg.Msg
+module Ipc = Fbufs_ipc.Ipc
+module Testbed = Fbufs_harness.Testbed
+
+let key = 0x5A
+
+let xor_encrypt b =
+  Bytes.map (fun c -> Char.chr (Char.code c lxor key)) b
+
+let () =
+  let tb = Testbed.create () in
+  let producer = Testbed.user_domain tb "producer" in
+  let cipher = Testbed.user_domain tb "cipher" in
+  let store = Testbed.user_domain tb "store" in
+
+  (* Two data paths: plaintext producer->cipher, ciphertext cipher->store.
+     The cipher's output buffers come from its own allocator — in-place
+     modification of the input is neither needed nor possible. *)
+  let plain_alloc =
+    Testbed.allocator tb ~domains:[ producer; cipher ] Fbuf.cached_volatile
+  in
+  let cipher_alloc =
+    Testbed.allocator tb ~domains:[ cipher; store ] Fbuf.cached_volatile
+  in
+  let hop1 = Ipc.connect tb.Testbed.region ~src:producer ~dst:cipher () in
+  let hop2 = Ipc.connect tb.Testbed.region ~src:cipher ~dst:store () in
+
+  let stored = ref [] in
+  let rejected = ref 0 in
+
+  let encrypt_and_forward plaintext =
+    (* 1. Secure: after this, the producer cannot modify the buffer. *)
+    List.iter Transfer.secure (Msg.fbufs plaintext);
+    (* 2. Validate the framing header *after* securing. *)
+    let hdr = Msg.sub_bytes plaintext ~as_:cipher ~off:0 ~len:4 in
+    if Bytes.to_string hdr <> "REC:" then begin
+      incr rejected;
+      Ipc.free_deferred hop1 plaintext
+    end
+    else begin
+      (* 3. Encrypt into a new buffer on the downstream path. *)
+      let data = Msg.to_bytes plaintext ~as_:cipher in
+      let ct = xor_encrypt data in
+      let ps = Testbed.page_size tb in
+      let out =
+        Allocator.alloc cipher_alloc
+          ~npages:((Bytes.length ct + ps - 1) / ps)
+      in
+      Fbuf_api.write_bytes out ~as_:cipher ~off:0 ct;
+      let out_msg = Msg.of_fbuf out ~off:0 ~len:(Bytes.length ct) in
+      Ipc.call hop2 out_msg ~handler:(fun received ->
+          stored := Msg.to_bytes received ~as_:store :: !stored;
+          Ipc.free_deferred hop2 received);
+      Msg.free_all out_msg ~dom:cipher;
+      Ipc.free_deferred hop1 plaintext
+    end
+  in
+
+  (* An honest record. *)
+  let send_record payload =
+    let body = "REC:" ^ payload in
+    let fb = Allocator.alloc plain_alloc ~npages:1 in
+    Fbuf_api.write fb ~as_:producer ~off:0 body;
+    let msg = Msg.of_fbuf fb ~off:0 ~len:(String.length body) in
+    Ipc.call hop1 msg ~handler:encrypt_and_forward;
+    (* The producer's handle: with the buffer secured by the cipher, any
+       late scribble faults instead of corrupting the pipeline. *)
+    (fb, msg)
+  in
+
+  let _, m1 = send_record "alpha" in
+  Msg.free_all m1 ~dom:producer;
+  let fb2, m2 = send_record "bravo" in
+
+  Printf.printf "stored %d ciphertext records, rejected %d\n"
+    (List.length !stored) !rejected;
+  let decrypted =
+    List.rev_map (fun ct -> Bytes.to_string (xor_encrypt ct)) !stored
+  in
+  List.iteri (fun i s -> Printf.printf "record %d decrypts to %S\n" i s)
+    decrypted;
+  assert (decrypted = [ "REC:alpha"; "REC:bravo" ]);
+
+  (* The malicious move: rewrite the buffer after the cipher consumed it. *)
+  (try
+     Fbuf_api.write fb2 ~as_:producer ~off:4 "EVIL!";
+     print_endline "BUG: post-send modification succeeded"
+   with Vm_map.Protection_violation _ ->
+     print_endline "late producer scribble faulted (buffer was secured)");
+  Msg.free_all m2 ~dom:producer;
+
+  (* A malformed record is rejected without crashing the cipher. *)
+  let fb3 = Allocator.alloc plain_alloc ~npages:1 in
+  Fbuf_api.write fb3 ~as_:producer ~off:0 "JUNKdata";
+  let m3 = Msg.of_fbuf fb3 ~off:0 ~len:8 in
+  Ipc.call hop1 m3 ~handler:encrypt_and_forward;
+  Msg.free_all m3 ~dom:producer;
+  Printf.printf "malformed records rejected: %d\n" !rejected;
+  assert (!rejected = 1);
+
+  (* Steady state: everything went back to the path caches. *)
+  Printf.printf "plaintext buffers parked: %d, ciphertext parked: %d\n"
+    (Allocator.free_list_length plain_alloc)
+    (Allocator.free_list_length cipher_alloc)

@@ -1,0 +1,76 @@
+(* Continuous media: the paper's motivating workload.
+
+   A capture domain produces 30 video frames per second; each frame is an
+   ADU that crosses two protection boundaries (capture -> compressor ->
+   display), the structure a microkernel multimedia system would have.
+   We compare cached/volatile fbufs against the plain base mechanism and
+   report the per-frame CPU cost and the headroom left at 30 fps.
+
+   Run with: dune exec examples/video_server.exe *)
+
+open Fbufs_sim
+open Fbufs
+module Msg = Fbufs_msg.Msg
+module Ipc = Fbufs_ipc.Ipc
+module Testbed = Fbufs_harness.Testbed
+
+let frame_bytes = 512 * 512 (* 512x512 8-bit grey: 64 pages *)
+let fps = 30
+let frames = 60
+
+let run variant =
+  let tb = Testbed.create () in
+  let m = tb.Testbed.m in
+  let capture = Testbed.user_domain tb "capture" in
+  let compress = Testbed.user_domain tb "compressor" in
+  let display = Testbed.user_domain tb "display" in
+  let alloc =
+    Testbed.allocator tb ~domains:[ capture; compress; display ] variant
+  in
+  let hop1 = Ipc.connect tb.Testbed.region ~src:capture ~dst:compress () in
+  let hop2 = Ipc.connect tb.Testbed.region ~src:compress ~dst:display () in
+  let t0 = Machine.now m in
+  for i = 1 to frames do
+    let frame =
+      Fbufs_protocols.Testproto.make_message ~alloc ~as_:capture
+        ~bytes:frame_bytes ()
+    in
+    Ipc.call hop1 frame ~handler:(fun received ->
+        (* The compressor samples the frame (motion estimation over a
+           quarter of the pixels); being an intermediate layer, it does not
+           modify the buffer — a real codec would allocate an output
+           buffer for the compressed stream. *)
+        ignore
+          (Msg.checksum (Msg.truncate received (frame_bytes / 4)) ~as_:compress);
+        Ipc.call hop2 received ~handler:(fun at_display ->
+            (* The display touches every page to blit it out. *)
+            Msg.touch_read at_display ~as_:display;
+            Ipc.free_deferred hop2 at_display);
+        Ipc.free_deferred hop1 received);
+    Msg.free_all frame ~dom:capture;
+    ignore i
+  done;
+  let per_frame = (Machine.now m -. t0) /. float_of_int frames in
+  per_frame
+
+let () =
+  Printf.printf "Continuous media through 3 domains: %d frames of %d KB at %d fps\n\n"
+    frames (frame_bytes / 1024) fps;
+  let budget = 1e6 /. float_of_int fps in
+  Printf.printf "%-22s %14s %14s %10s\n" "buffering" "us/frame" "budget us"
+    "headroom";
+  let row name variant =
+    let us = run variant in
+    Printf.printf "%-22s %14.0f %14.0f %9.0f%%\n" name us budget
+      (100.0 *. (1.0 -. (us /. budget)))
+  in
+  row "cached/volatile fbufs" Fbuf.cached_volatile;
+  row "plain fbufs" Fbuf.plain;
+  print_newline ();
+  print_endline
+    "The cached/volatile path leaves the CPU free for the codec; the plain\n\
+     base mechanism burns the frame budget on per-page VM work.";
+  (* Sanity-check the claim programmatically, like the paper's two-fold
+     loopback result. *)
+  let cached = run Fbuf.cached_volatile and plain = run Fbuf.plain in
+  assert (plain > cached *. 1.5)

@@ -1,0 +1,1 @@
+lib/baseline/copy_transfer.ml: Access Bytes Fbufs_sim Fbufs_vm Pd String Vm_map

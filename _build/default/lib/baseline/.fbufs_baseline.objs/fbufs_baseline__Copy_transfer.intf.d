@@ -1,0 +1,1 @@
+lib/baseline/copy_transfer.mli: Fbufs_vm

@@ -1,0 +1,1 @@
+lib/baseline/dash_remap.ml: Access Cost_model Fbufs_sim Fbufs_vm Machine Pd Remap Vm_map

@@ -1,0 +1,1 @@
+lib/baseline/dash_remap.mli: Fbufs_sim

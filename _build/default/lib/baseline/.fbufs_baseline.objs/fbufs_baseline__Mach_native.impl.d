@@ -1,0 +1,1 @@
+lib/baseline/mach_native.ml: Access Bytes Copy_transfer Fbufs_sim Fbufs_vm Pd String Vm_map

@@ -1,0 +1,1 @@
+lib/baseline/mach_native.mli: Fbufs_vm

@@ -1,0 +1,53 @@
+open Fbufs_vm
+
+type t = {
+  src : Pd.t;
+  dst : Pd.t;
+  kernel : Pd.t;
+  src_va : int;
+  kernel_va : int;
+  dst_va : int;
+  npages : int;
+  page_size : int;
+}
+
+let create ~src ~dst ~kernel ~max_bytes =
+  let ps = src.Pd.m.Fbufs_sim.Machine.cost.Fbufs_sim.Cost_model.page_size in
+  let npages = max 1 ((max_bytes + ps - 1) / ps) in
+  let reserve (d : Pd.t) =
+    let vpn = Vm_map.reserve_private d.Pd.map ~npages in
+    Vm_map.map_zero_fill d.Pd.map ~vpn ~npages;
+    vpn * ps
+  in
+  {
+    src;
+    dst;
+    kernel;
+    src_va = reserve src;
+    kernel_va = reserve kernel;
+    dst_va = reserve dst;
+    npages;
+    page_size = ps;
+  }
+
+let transfer t ~bytes =
+  if bytes > t.npages * t.page_size then
+    invalid_arg "Copy_transfer.transfer: larger than the buffers";
+  let pages = max 1 ((bytes + t.page_size - 1) / t.page_size) in
+  Access.touch_write t.src ~vaddr:t.src_va ~npages:pages;
+  (* copyin: user -> kernel *)
+  Access.blit ~src:t.src ~src_vaddr:t.src_va ~dst:t.kernel
+    ~dst_vaddr:t.kernel_va ~len:bytes;
+  (* copyout: kernel -> user *)
+  Access.blit ~src:t.kernel ~src_vaddr:t.kernel_va ~dst:t.dst
+    ~dst_vaddr:t.dst_va ~len:bytes;
+  Access.touch_read t.dst ~vaddr:t.dst_va ~npages:pages
+
+let verify_roundtrip t s =
+  Access.write_string t.src ~vaddr:t.src_va s;
+  Access.blit ~src:t.src ~src_vaddr:t.src_va ~dst:t.kernel
+    ~dst_vaddr:t.kernel_va ~len:(String.length s);
+  Access.blit ~src:t.kernel ~src_vaddr:t.kernel_va ~dst:t.dst
+    ~dst_vaddr:t.dst_va ~len:(String.length s);
+  Bytes.to_string
+    (Access.read_bytes t.dst ~vaddr:t.dst_va ~len:(String.length s))

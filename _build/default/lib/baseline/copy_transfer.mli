@@ -1,0 +1,24 @@
+(** Software-copy cross-domain transfer (the UNIX read/write discipline):
+    data moves from the sender's private buffer into a kernel buffer
+    (copyin) and from there into the receiver's private buffer (copyout).
+    Two full traversals of the data per transfer — the cost the paper's
+    whole design exists to avoid. *)
+
+type t
+
+val create :
+  src:Fbufs_vm.Pd.t ->
+  dst:Fbufs_vm.Pd.t ->
+  kernel:Fbufs_vm.Pd.t ->
+  max_bytes:int ->
+  t
+(** Establish the three persistent buffers (steady state: no allocation on
+    the transfer path, like a long-lived UNIX socket). *)
+
+val transfer : t -> bytes:int -> unit
+(** One transfer: the sender dirties one word per page of its buffer, the
+    data is copied in and out, and the receiver reads one word per page. *)
+
+val verify_roundtrip : t -> string -> string
+(** Write a string into the source buffer, transfer, and read it back from
+    the destination buffer (integrity check for tests). *)

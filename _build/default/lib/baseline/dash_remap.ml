@@ -1,0 +1,41 @@
+open Fbufs_sim
+open Fbufs_vm
+
+let ping_pong_per_page m ~npages ~rounds =
+  let a = Pd.create m "pingpong-a" in
+  let b = Pd.create m "pingpong-b" in
+  let ps = m.Machine.cost.Cost_model.page_size in
+  let vpn_a = Remap.alloc_pages a ~npages ~clear_fraction:0.0 in
+  (* Pre-reserve the partner range once; the ping-pong never reallocates. *)
+  let vpn_b = Vm_map.reserve_private b.Pd.map ~npages in
+  Access.touch_write a ~vaddr:(vpn_a * ps) ~npages;
+  (* Warm-up round in each direction. *)
+  ignore (Remap.move ~src:a ~dst:b ~src_vpn:vpn_a ~npages ~dst_vpn:vpn_b ());
+  ignore (Remap.move ~src:b ~dst:a ~src_vpn:vpn_b ~npages ~dst_vpn:vpn_a ());
+  let t0 = Machine.now m in
+  for _ = 1 to rounds do
+    ignore (Remap.move ~src:a ~dst:b ~src_vpn:vpn_a ~npages ~dst_vpn:vpn_b ());
+    Access.touch_read b ~vaddr:(vpn_b * ps) ~npages;
+    ignore (Remap.move ~src:b ~dst:a ~src_vpn:vpn_b ~npages ~dst_vpn:vpn_a ());
+    Access.touch_read a ~vaddr:(vpn_a * ps) ~npages
+  done;
+  let elapsed = Machine.now m -. t0 in
+  elapsed /. float_of_int (rounds * 2 * npages)
+
+let realistic_per_page m ~npages ~rounds ~clear_fraction =
+  let a = Pd.create m "flow-src" in
+  let b = Pd.create m "flow-sink" in
+  let ps = m.Machine.cost.Cost_model.page_size in
+  let once () =
+    let vpn = Remap.alloc_pages a ~npages ~clear_fraction in
+    Access.touch_write a ~vaddr:(vpn * ps) ~npages;
+    let dst_vpn = Remap.move ~src:a ~dst:b ~src_vpn:vpn ~npages () in
+    Access.touch_read b ~vaddr:(dst_vpn * ps) ~npages;
+    Remap.free_pages b ~vpn:dst_vpn ~npages
+  in
+  once () (* warm up *);
+  let t0 = Machine.now m in
+  for _ = 1 to rounds do
+    once ()
+  done;
+  (Machine.now m -. t0) /. float_of_int (rounds * npages)

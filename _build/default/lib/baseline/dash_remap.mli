@@ -1,0 +1,21 @@
+(** Re-implementation of the DASH/Tzou-Anderson page-remapping measurement
+    (paper section 2.2.1): the same facility measured two ways.
+
+    The published DASH result is a *ping-pong*: one set of pages bounces
+    between two domains, so address ranges are never allocated or freed and
+    pages are never cleared. A realistic unidirectional I/O flow must
+    continually allocate fresh pages at the source (clearing some fraction
+    of each for security) and deallocate them at the sink — which is where
+    the 22 us/page headline becomes 42-99 us/page. *)
+
+val ping_pong_per_page :
+  Fbufs_sim.Machine.t -> npages:int -> rounds:int -> float
+(** Average per-page cost of remapping a buffer back and forth between two
+    fresh domains [rounds] times (both directions counted, matching the
+    Tzou/Anderson methodology). *)
+
+val realistic_per_page :
+  Fbufs_sim.Machine.t -> npages:int -> rounds:int -> clear_fraction:float -> float
+(** Average per-page cost of a one-way flow: allocate + clear
+    [clear_fraction] of each page + write + remap + read + free,
+    steady-state over [rounds] messages. *)

@@ -1,0 +1,48 @@
+open Fbufs_vm
+
+type t = { src : Pd.t; dst : Pd.t; copy : Copy_transfer.t }
+
+let copy_threshold = 2048
+
+let create ~src ~dst ~kernel =
+  { src; dst; copy = Copy_transfer.create ~src ~dst ~kernel ~max_bytes:copy_threshold }
+
+let pages_of (d : Pd.t) bytes =
+  let ps = d.Pd.m.Fbufs_sim.Machine.cost.Fbufs_sim.Cost_model.page_size in
+  max 1 ((bytes + ps - 1) / ps)
+
+let transfer_cow t ~bytes =
+  let ps = t.src.Pd.m.Fbufs_sim.Machine.cost.Fbufs_sim.Cost_model.page_size in
+  let npages = pages_of t.src bytes in
+  (* Fresh out-of-line memory for this message. *)
+  let vpn = Vm_map.reserve_private t.src.Pd.map ~npages in
+  Vm_map.map_zero_fill t.src.Pd.map ~vpn ~npages;
+  Access.touch_write t.src ~vaddr:(vpn * ps) ~npages;
+  (* Virtual copy with lazy pmap update. *)
+  Vm_map.copy_cow ~src:t.src.Pd.map ~dst:t.dst.Pd.map ~vpn ~npages;
+  (* Receiver consumes (first faults per page) and deallocates. *)
+  Access.touch_read t.dst ~vaddr:(vpn * ps) ~npages;
+  Vm_map.release_range t.dst.Pd.map ~vpn ~npages;
+  Vm_map.release_range t.src.Pd.map ~vpn ~npages
+
+let transfer t ~bytes =
+  if bytes < copy_threshold then Copy_transfer.transfer t.copy ~bytes
+  else transfer_cow t ~bytes
+
+let verify_cow_roundtrip t s =
+  let ps = t.src.Pd.m.Fbufs_sim.Machine.cost.Fbufs_sim.Cost_model.page_size in
+  let npages = pages_of t.src (String.length s) in
+  let vpn = Vm_map.reserve_private t.src.Pd.map ~npages in
+  Vm_map.map_zero_fill t.src.Pd.map ~vpn ~npages;
+  Access.write_string t.src ~vaddr:(vpn * ps) s;
+  Vm_map.copy_cow ~src:t.src.Pd.map ~dst:t.dst.Pd.map ~vpn ~npages;
+  (* The sender moves on to other work, scribbling over its buffer; the
+     receiver's view must be the original. *)
+  Access.write_string t.src ~vaddr:(vpn * ps) (String.make (String.length s) 'X');
+  let seen =
+    Bytes.to_string
+      (Access.read_bytes t.dst ~vaddr:(vpn * ps) ~len:(String.length s))
+  in
+  Vm_map.release_range t.dst.Pd.map ~vpn ~npages;
+  Vm_map.release_range t.src.Pd.map ~vpn ~npages;
+  seen

@@ -1,0 +1,28 @@
+(** Mach's native data-transfer facility, as measured by the paper's
+    Figures 1-3: inline data copying for messages under 2 KB and
+    copy-on-write virtual copy above — with the lazy physical-map update
+    strategy that costs two page faults per transferred page.
+
+    The steady-state workload matches the paper's first experiment: the
+    sender allocates a fresh buffer for every message (a high-bandwidth
+    source cannot reuse a buffer that is still COW-shared), writes one word
+    per page (paying zero-fill faults), virtually copies it to the
+    receiver, which reads one word per page (paying receive-side faults)
+    and deallocates; the sender then deallocates its side. *)
+
+type t
+
+val create : src:Fbufs_vm.Pd.t -> dst:Fbufs_vm.Pd.t -> kernel:Fbufs_vm.Pd.t -> t
+
+val copy_threshold : int
+(** 2048 bytes: Mach copies smaller messages, COWs larger ones. *)
+
+val transfer : t -> bytes:int -> unit
+(** One message transfer with the mode Mach would pick for this size. *)
+
+val transfer_cow : t -> bytes:int -> unit
+(** Force the COW path regardless of size (for Table 1's COW row). *)
+
+val verify_cow_roundtrip : t -> string -> string
+(** Send a string via the COW path and read it back in the receiver,
+    then overwrite the source and return the receiver's (unchanged) view. *)

@@ -1,0 +1,1 @@
+lib/core/allocator.ml: Cost_model Fbuf Fbufs_sim Fbufs_vm List Machine Path Pd Phys_mem Prot Region Stats Transfer Vm_map

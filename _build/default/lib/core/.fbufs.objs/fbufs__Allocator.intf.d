@@ -1,0 +1,1 @@
+lib/core/allocator.mli: Fbuf Fbufs_vm Path Region

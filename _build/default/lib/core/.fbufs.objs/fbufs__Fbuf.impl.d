@@ -1,0 +1,1 @@
+lib/core/fbuf.ml: Fbufs_sim Fbufs_vm Format Hashtbl List Path Pd Printf

@@ -1,0 +1,1 @@
+lib/core/fbuf.mli: Fbufs_sim Fbufs_vm Format Hashtbl Path

@@ -1,0 +1,1 @@
+lib/core/fbuf_api.ml: Access Bytes Fbuf Fbufs_vm Printf String

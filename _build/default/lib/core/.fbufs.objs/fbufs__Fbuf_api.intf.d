@@ -1,0 +1,1 @@
+lib/core/fbuf_api.mli: Fbuf Fbufs_vm

@@ -1,0 +1,1 @@
+lib/core/lifecycle.ml: Allocator Cost_model Fbuf Fbufs_sim Fbufs_vm List Machine Pd Region Stats Transfer

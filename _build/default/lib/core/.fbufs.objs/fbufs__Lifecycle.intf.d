@@ -1,0 +1,1 @@
+lib/core/lifecycle.mli: Allocator Fbufs_vm Region

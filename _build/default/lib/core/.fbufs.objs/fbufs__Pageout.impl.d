@@ -1,0 +1,1 @@
+lib/core/pageout.ml: Allocator Cost_model Fbufs_sim List Machine Phys_mem Region Stats

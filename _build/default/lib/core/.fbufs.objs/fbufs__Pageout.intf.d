@@ -1,0 +1,1 @@
+lib/core/pageout.mli: Allocator Region

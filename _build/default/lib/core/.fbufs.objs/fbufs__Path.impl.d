@@ -1,0 +1,1 @@
+lib/core/path.ml: Fbufs_vm Format List Pd

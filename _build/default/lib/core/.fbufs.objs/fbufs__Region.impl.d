@@ -1,0 +1,1 @@
+lib/core/region.ml: Array Cost_model Fbuf Fbufs_sim Fbufs_vm Hashtbl Machine Pd Phys_mem Printf Prot Stats Vm_map

@@ -1,0 +1,1 @@
+lib/core/region.mli: Fbuf Fbufs_sim Fbufs_vm

@@ -1,0 +1,1 @@
+lib/core/transfer.ml: Fbuf Fbufs_sim Fbufs_vm List Machine Path Pd Printf Prot Stats Vm_map

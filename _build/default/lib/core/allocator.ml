@@ -1,0 +1,187 @@
+open Fbufs_sim
+open Fbufs_vm
+
+type policy = Lifo | Fifo
+
+type t = {
+  region : Region.t;
+  path : Path.t;
+  variant : Fbuf.variant;
+  owner : Pd.t;
+  policy : policy;
+  mutable free_list : Fbuf.t list; (* reuse from the head *)
+  mutable extents : (int * int) list; (* free (base_vpn, npages) *)
+  mutable chunks : (int * int) list; (* owned (base_vpn, nchunks) *)
+  mutable live : int;
+  mutable torn_down : bool;
+}
+
+let path t = t.path
+let variant t = t.variant
+let owner t = t.owner
+let region t = t.region
+let free_list_length t = List.length t.free_list
+let live_fbufs t = t.live
+
+let release_chunks t =
+  List.iter
+    (fun (vpn, n) -> Region.free_chunks t.region t.owner ~vpn ~nchunks:n)
+    t.chunks;
+  t.chunks <- []
+
+(* Called by Transfer when the last reference to one of our fbufs drops. *)
+let on_all_freed t (fb : Fbuf.t) =
+  match fb.Fbuf.state with
+  | Fbuf.Cached_free ->
+      if t.torn_down then begin
+        Transfer.destroy_cached fb;
+        Region.unregister_fbuf t.region fb;
+        t.live <- t.live - 1;
+        if t.live = 0 then release_chunks t
+      end
+      else begin
+        (match t.policy with
+        | Lifo -> t.free_list <- fb :: t.free_list
+        | Fifo -> t.free_list <- t.free_list @ [ fb ]);
+        t.live <- t.live - 1
+      end
+  | Fbuf.Dead ->
+      Region.unregister_fbuf t.region fb;
+      t.extents <- (fb.Fbuf.base_vpn, fb.Fbuf.npages) :: t.extents;
+      t.live <- t.live - 1;
+      if t.torn_down && t.live = 0 then release_chunks t
+  | Fbuf.Active -> assert false
+
+let create region ~path ~variant ?(policy = Lifo) () =
+  {
+    region;
+    path;
+    variant;
+    owner = Path.originator path;
+    policy;
+    free_list = [];
+    extents = [];
+    chunks = [];
+    live = 0;
+    torn_down = false;
+  }
+
+let default region ~owner =
+  create region ~path:(Path.create [ owner ]) ~variant:Fbuf.volatile_only ()
+
+(* First-fit over the free extents; splits when the fit is loose. *)
+let take_extent t ~npages =
+  let rec loop acc = function
+    | [] -> None
+    | (base, n) :: rest when n >= npages ->
+        let remainder = if n > npages then [ (base + npages, n - npages) ] else [] in
+        t.extents <- List.rev_append acc (remainder @ rest);
+        Some base
+    | e :: rest -> loop (e :: acc) rest
+  in
+  loop [] t.extents
+
+let take_address_range t ~npages =
+  match take_extent t ~npages with
+  | Some base -> base
+  | None ->
+      let chunk_pages = (Region.config t.region).Region.chunk_pages in
+      let nchunks = (npages + chunk_pages - 1) / chunk_pages in
+      let base = Region.alloc_chunks t.region t.owner ~nchunks in
+      t.chunks <- (base, nchunks) :: t.chunks;
+      let slack = (nchunks * chunk_pages) - npages in
+      if slack > 0 then t.extents <- (base + npages, slack) :: t.extents;
+      base
+
+let pop_cached t ~npages =
+  let rec loop acc = function
+    | [] -> None
+    | (fb : Fbuf.t) :: rest when fb.Fbuf.npages = npages ->
+        t.free_list <- List.rev_append acc rest;
+        Some fb
+    | fb :: rest -> loop (fb :: acc) rest
+  in
+  loop [] t.free_list
+
+let fresh_fbuf t ~npages =
+  let m = Region.machine t.region in
+  let base_vpn = take_address_range t ~npages in
+  let zero = (Region.config t.region).Region.zero_on_alloc in
+  for i = 0 to npages - 1 do
+    Machine.charge m m.Machine.cost.Cost_model.page_alloc;
+    let f = Phys_mem.alloc m.Machine.pmem in
+    if zero then begin
+      Machine.charge m m.Machine.cost.Cost_model.page_zero;
+      Stats.incr m.Machine.stats "fbuf.page_zeroed";
+      Phys_mem.zero m.Machine.pmem f
+    end;
+    Vm_map.map_frame t.owner.Pd.map ~vpn:(base_vpn + i) ~frame:f
+      ~prot:Prot.Read_write ~eager:true
+  done;
+  let fb =
+    Fbuf.make ~m ~id:(Machine.fresh_id m) ~base_vpn ~npages
+      ~variant:t.variant ~path:t.path
+  in
+  Region.register_fbuf t.region fb;
+  Stats.incr m.Machine.stats "fbuf.alloc_fresh";
+  fb
+
+let alloc t ~npages =
+  if t.torn_down then invalid_arg "Allocator.alloc: allocator was torn down";
+  if npages <= 0 then invalid_arg "Allocator.alloc: npages must be positive";
+  let m = Region.machine t.region in
+  let fb =
+    if t.variant.Fbuf.cached then
+      match pop_cached t ~npages with
+      | Some fb ->
+          (* The fast path: mappings, frames and contents are all reusable;
+             no VM work and no clearing. *)
+          fb.Fbuf.state <- Fbuf.Active;
+          Stats.incr m.Machine.stats "fbuf.alloc_cached_hit";
+          fb
+      | None -> fresh_fbuf t ~npages
+    else fresh_fbuf t ~npages
+  in
+  fb.Fbuf.on_all_freed <- Some (on_all_freed t);
+  fb.Fbuf.last_alloc_us <- Machine.now m;
+  Fbuf.add_ref fb t.owner;
+  t.live <- t.live + 1;
+  fb
+
+let has_resident_memory (fb : Fbuf.t) =
+  Vm_map.frame_of (Fbuf.originator fb).Pd.map ~vpn:fb.Fbuf.base_vpn <> None
+
+let reclaim t ?(older_than_us = 0.0) ~max_fbufs () =
+  (* LRU approximation: victims are the least recently *used* parked
+     buffers that still hold physical memory and have been idle past the
+     horizon; already-reclaimed buffers are skipped so repeated daemon
+     sweeps make real progress or report none. *)
+  let now = Machine.now (Region.machine t.region) in
+  let resident =
+    List.filter
+      (fun fb ->
+        has_resident_memory fb
+        && now -. fb.Fbuf.last_alloc_us >= older_than_us)
+      t.free_list
+  in
+  let by_age =
+    List.sort
+      (fun (a : Fbuf.t) (b : Fbuf.t) ->
+        compare a.Fbuf.last_alloc_us b.Fbuf.last_alloc_us)
+      resident
+  in
+  let take = min (max 0 max_fbufs) (List.length by_age) in
+  let victims = List.filteri (fun i _ -> i < take) by_age in
+  List.iter Transfer.reclaim_memory victims;
+  take
+
+let teardown t =
+  if t.torn_down then invalid_arg "Allocator.teardown: already torn down";
+  t.torn_down <- true;
+  List.iter
+    (fun fb ->
+      Transfer.destroy_cached fb;
+      Region.unregister_fbuf t.region fb)
+    t.free_list;
+  t.free_list <- [];
+  if t.live = 0 then release_chunks t

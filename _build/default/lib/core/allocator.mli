@@ -1,0 +1,55 @@
+(** Per-domain, per-path fbuf allocators: the lower level of the two-level
+    allocation scheme.
+
+    Each communication endpoint owns one allocator, bound to the I/O data
+    path its traffic follows and to an fbuf variant. The allocator satisfies
+    requests from, in order: (1) its LIFO free list of cached fbufs of the
+    right size — the common case, requiring no VM work and no page clearing;
+    (2) virtual address extents it already owns; (3) fresh chunks requested
+    from the kernel's {!Region} (the rare, IPC-charged slow path).
+
+    The LIFO discipline keeps the warmest buffers (those most likely to
+    still have physical memory and live TLB entries) at the head. *)
+
+type t
+
+type policy = Lifo | Fifo
+
+val create :
+  Region.t -> path:Path.t -> variant:Fbuf.variant -> ?policy:policy -> unit -> t
+(** The allocator is owned by the path's originator domain. [policy]
+    defaults to {!Lifo}, the paper's choice: freed buffers are reused
+    most-recently-freed first, so the reused buffer is the one most likely
+    to still have physical memory and warm TLB entries. {!Fifo} exists for
+    the ablation that quantifies that choice. *)
+
+val default : Region.t -> owner:Fbufs_vm.Pd.t -> t
+(** The default allocator used when the data path is unknown at allocation
+    time: hands out uncached, volatile fbufs on a single-domain path; they
+    may be sent to any domain, paying VM map manipulations per transfer. *)
+
+val path : t -> Path.t
+val variant : t -> Fbuf.variant
+val owner : t -> Fbufs_vm.Pd.t
+val region : t -> Region.t
+
+val alloc : t -> npages:int -> Fbuf.t
+(** Allocate an fbuf of exactly [npages] pages with one originator
+    reference, writable by the originator. Reuses a cached buffer when one
+    of the right size is available. *)
+
+val free_list_length : t -> int
+val live_fbufs : t -> int
+
+val reclaim : t -> ?older_than_us:float -> max_fbufs:int -> unit -> int
+(** Pageout-daemon entry point: discard the physical memory of up to
+    [max_fbufs] parked cached buffers, least recently used first,
+    considering only buffers idle for at least [older_than_us] (default 0:
+    any). Returns the number of buffers reclaimed. *)
+
+val teardown : t -> unit
+(** Destroy the endpoint: fully tear down free cached fbufs and return all
+    chunk ownership to the kernel. Live fbufs (references still held by
+    other domains) survive until their last free; their chunks are retained
+    by the kernel until then, as the paper requires for terminating
+    domains. Raises [Invalid_argument] if called twice. *)

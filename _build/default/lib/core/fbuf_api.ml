@@ -1,0 +1,39 @@
+open Fbufs_vm
+
+let bounds (fb : Fbuf.t) ~off ~len op =
+  if off < 0 || len < 0 || off + len > Fbuf.size fb then
+    invalid_arg
+      (Printf.sprintf "%s: [%d, %d) outside fbuf of %d bytes" op off
+         (off + len) (Fbuf.size fb))
+
+let write fb ~as_ ~off s =
+  bounds fb ~off ~len:(String.length s) "Fbuf_api.write";
+  Access.write_string as_ ~vaddr:(Fbuf.vaddr fb + off) s
+
+let write_bytes fb ~as_ ~off b =
+  bounds fb ~off ~len:(Bytes.length b) "Fbuf_api.write_bytes";
+  Access.write_bytes as_ ~vaddr:(Fbuf.vaddr fb + off) b
+
+let read fb ~as_ ~off ~len =
+  bounds fb ~off ~len "Fbuf_api.read";
+  Access.read_bytes as_ ~vaddr:(Fbuf.vaddr fb + off) ~len
+
+let read_string fb ~as_ ~off ~len = Bytes.to_string (read fb ~as_ ~off ~len)
+
+let touch_write fb ~as_ =
+  Access.touch_write as_ ~vaddr:(Fbuf.vaddr fb) ~npages:fb.Fbuf.npages
+
+let touch_read fb ~as_ =
+  Access.touch_read as_ ~vaddr:(Fbuf.vaddr fb) ~npages:fb.Fbuf.npages
+
+let checksum fb ~as_ ~off ~len =
+  bounds fb ~off ~len "Fbuf_api.checksum";
+  Access.checksum as_ ~vaddr:(Fbuf.vaddr fb + off) ~len
+
+let word_at fb ~as_ ~off =
+  bounds fb ~off ~len:4 "Fbuf_api.word_at";
+  Access.read_word as_ ~vaddr:(Fbuf.vaddr fb + off)
+
+let set_word fb ~as_ ~off v =
+  bounds fb ~off ~len:4 "Fbuf_api.set_word";
+  Access.write_word as_ ~vaddr:(Fbuf.vaddr fb + off) v

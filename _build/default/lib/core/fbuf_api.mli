@@ -1,0 +1,23 @@
+(** Data-plane convenience operations on fbufs.
+
+    Thin bounds-checked wrappers over {!Fbufs_vm.Access}: all protection
+    enforcement (originator-only writes, secured buffers, receivers'
+    read-only views) is exercised by the underlying simulated VM, so a
+    receiver attempting to write raises
+    {!Fbufs_vm.Vm_map.Protection_violation}. *)
+
+val write : Fbuf.t -> as_:Fbufs_vm.Pd.t -> off:int -> string -> unit
+val write_bytes : Fbuf.t -> as_:Fbufs_vm.Pd.t -> off:int -> bytes -> unit
+val read : Fbuf.t -> as_:Fbufs_vm.Pd.t -> off:int -> len:int -> bytes
+val read_string : Fbuf.t -> as_:Fbufs_vm.Pd.t -> off:int -> len:int -> string
+
+val touch_write : Fbuf.t -> as_:Fbufs_vm.Pd.t -> unit
+(** Write one word in each page (the paper's originator workload). *)
+
+val touch_read : Fbuf.t -> as_:Fbufs_vm.Pd.t -> unit
+(** Read one word in each page (the paper's receiver workload). *)
+
+val checksum : Fbuf.t -> as_:Fbufs_vm.Pd.t -> off:int -> len:int -> int
+
+val word_at : Fbuf.t -> as_:Fbufs_vm.Pd.t -> off:int -> int
+val set_word : Fbuf.t -> as_:Fbufs_vm.Pd.t -> off:int -> int -> unit

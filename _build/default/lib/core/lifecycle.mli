@@ -1,0 +1,21 @@
+(** Domain termination (paper section 3.3).
+
+    "When a domain terminates, it may hold references to fbufs it has
+    received. In the case of an abnormal termination, the domain may not
+    properly relinquish those references" — the kernel sweeps them here.
+    A terminating domain's own endpoints are destroyed (their allocators
+    torn down), which deallocates the associated free fbufs; chunks whose
+    buffers are still referenced externally are retained by the kernel
+    until the last reference drops (handled by {!Allocator.teardown}). *)
+
+val terminate_domain :
+  Region.t -> Fbufs_vm.Pd.t -> allocators:Allocator.t list -> unit
+(** Kill a protection domain: release every fbuf reference it holds
+    (receiver side), tear down the endpoints it owned ([allocators], all
+    of which must be owned by this domain), and mark it dead. Charges the
+    kernel's cleanup work. Idempotent on the reference sweep; raises
+    [Invalid_argument] if an allocator belongs to another domain. *)
+
+val orphaned_references : Region.t -> Fbufs_vm.Pd.t -> int
+(** How many references a (possibly dead) domain still holds across the
+    region — 0 after {!terminate_domain}. *)

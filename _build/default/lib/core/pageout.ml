@@ -1,0 +1,46 @@
+open Fbufs_sim
+
+type t = {
+  region : Region.t;
+  low_water : int;
+  mutable allocators : Allocator.t list;
+}
+
+let create region ?low_water_frames () =
+  let m = Region.machine region in
+  let low_water =
+    match low_water_frames with
+    | Some n -> n
+    | None -> Phys_mem.total_frames m.Machine.pmem / 16
+  in
+  { region; low_water; allocators = [] }
+
+let register t alloc = t.allocators <- alloc :: t.allocators
+
+let registered t = List.length t.allocators
+
+let pressure t =
+  let m = Region.machine t.region in
+  Phys_mem.free_frames m.Machine.pmem < t.low_water
+
+let balance t =
+  let m = Region.machine t.region in
+  let reclaimed = ref 0 in
+  (* One daemon scan costs a range operation's worth of work. *)
+  Machine.charge m m.Machine.cost.Cost_model.vm_range_op;
+  let rec sweep () =
+    if pressure t then begin
+      let progress = ref false in
+      List.iter
+        (fun alloc ->
+          if pressure t && Allocator.reclaim alloc ~max_fbufs:1 () > 0 then begin
+            incr reclaimed;
+            progress := true
+          end)
+        t.allocators;
+      if !progress then sweep ()
+    end
+  in
+  sweep ();
+  Stats.add m.Machine.stats "pageout.reclaimed" !reclaimed;
+  !reclaimed

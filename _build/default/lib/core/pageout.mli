@@ -1,0 +1,30 @@
+(** The pageout daemon's view of fbufs.
+
+    "Since fbufs are pageable, the amount of physical memory allocated to
+    fbufs depends on the level of I/O traffic compared to other system
+    activity" — under memory pressure the kernel reclaims the physical
+    memory of fbufs sitting on free lists, discarding their contents
+    (free buffers are never written to backing store). The LIFO free-list
+    discipline means reclamation naturally takes the coldest buffers.
+
+    Allocators register with the daemon; {!balance} reclaims cold cached
+    buffers round-robin until the free-frame pool reaches the low-water
+    mark (or nothing reclaimable remains). *)
+
+type t
+
+val create : Region.t -> ?low_water_frames:int -> unit -> t
+(** [low_water_frames] defaults to 1/16 of physical memory. *)
+
+val register : t -> Allocator.t -> unit
+(** Make an allocator's free list visible to the daemon. *)
+
+val registered : t -> int
+
+val balance : t -> int
+(** Reclaim free cached fbufs (coldest first within each allocator) until
+    free frames >= low water; returns the number of fbufs reclaimed.
+    Charges the daemon's scan work plus the per-page reclamation costs. *)
+
+val pressure : t -> bool
+(** True when free frames are below the low-water mark. *)

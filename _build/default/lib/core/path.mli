@@ -1,0 +1,22 @@
+(** I/O data paths.
+
+    An I/O data path is the ordered sequence of protection domains a buffer
+    visits: the originator followed by the receiver domains. All data to or
+    from one communication endpoint travels the same path, which is what
+    makes per-path fbuf caching profitable (locality in network traffic).
+
+    Paths compare by identity ([id]); two paths over the same domains are
+    distinct caching pools. *)
+
+type t = { id : int; domains : Fbufs_vm.Pd.t list }
+
+val create : Fbufs_vm.Pd.t list -> t
+(** [create (originator :: receivers)]. Raises [Invalid_argument] on an
+    empty list or duplicate domains. *)
+
+val originator : t -> Fbufs_vm.Pd.t
+val receivers : t -> Fbufs_vm.Pd.t list
+val mem : t -> Fbufs_vm.Pd.t -> bool
+val length : t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,193 @@
+open Fbufs_sim
+open Fbufs_vm
+
+type config = {
+  base_vpn : int;
+  region_pages : int;
+  chunk_pages : int;
+  max_chunks_per_allocator : int;
+  zero_on_alloc : bool;
+}
+
+let default_config =
+  {
+    base_vpn = 0x40000;
+    region_pages = 8192;
+    chunk_pages = 16;
+    max_chunks_per_allocator = 64;
+    zero_on_alloc = false;
+  }
+
+type t = {
+  m : Machine.t;
+  kernel : Pd.t;
+  config : config;
+  nchunks : int;
+  chunk_owner : int option array;  (* chunk index -> owning domain id *)
+  owned_count : (int, int) Hashtbl.t;  (* domain id -> chunks owned *)
+  fbuf_index : (int, Fbuf.t) Hashtbl.t;  (* vpn -> covering fbuf *)
+  dead_frame : Phys_mem.frame_id;
+  mutable dead_reads : int;
+}
+
+exception Chunk_limit_exceeded of string
+exception Region_exhausted
+
+let machine t = t.m
+let kernel t = t.kernel
+let config t = t.config
+
+let in_region t ~vpn =
+  vpn >= t.config.base_vpn && vpn < t.config.base_vpn + t.config.region_pages
+
+let fbuf_at t ~vpn = Hashtbl.find_opt t.fbuf_index vpn
+
+(* Reads inside the region that the domain's own map cannot resolve are
+   handled here. Two cases:
+
+   - The page belongs to an fbuf the domain legitimately holds a reference
+     to: transfers grant rights without eagerly building mappings, so the
+     first touch materializes the mapping now. A receiver that never
+     touches the data (the paper's netserver) therefore never pays any
+     per-page VM cost.
+
+   - Anything else: map the shared zeroed dead page read-only, so the
+     receiver of a corrupt integrated DAG sees an empty leaf, not a
+     crash. *)
+let dead_page_hook t (dom : Pd.t) ~vpn ~write =
+  if write || not (in_region t ~vpn) then false
+  else
+    match Vm_map.prot_of dom.Pd.map ~vpn with
+    | Some p when Prot.can_read p -> false (* plain VM fault can resolve *)
+    | Some _ -> false (* mapped without read permission: real violation *)
+    | None -> (
+        let lazy_map_frame frame =
+          Machine.charge t.m t.m.cost.Cost_model.fault_trap;
+          Stats.incr t.m.stats "fbuf.lazy_map";
+          Phys_mem.incref t.m.pmem frame;
+          Vm_map.map_frame dom.Pd.map ~vpn ~frame ~prot:Prot.Read_only
+            ~eager:true;
+          true
+        in
+        let map_dead () =
+          Machine.charge t.m t.m.cost.Cost_model.fault_trap;
+          Stats.incr t.m.stats "region.dead_page_read";
+          t.dead_reads <- t.dead_reads + 1;
+          Phys_mem.incref t.m.pmem t.dead_frame;
+          Vm_map.map_frame dom.Pd.map ~vpn ~frame:t.dead_frame
+            ~prot:Prot.Read_only ~eager:true;
+          true
+        in
+        match fbuf_at t ~vpn with
+        | Some fb
+          when fb.Fbuf.state = Fbuf.Active && Fbuf.ref_count fb dom > 0 -> (
+            match
+              Vm_map.frame_of (Fbuf.originator fb).Pd.map ~vpn
+            with
+            | Some frame -> lazy_map_frame frame
+            | None -> map_dead ())
+        | Some _ | None -> map_dead ())
+
+let create m ~kernel ?(config = default_config) () =
+  if config.region_pages mod config.chunk_pages <> 0 then
+    invalid_arg "Region.create: region_pages must be a multiple of chunk_pages";
+  let dead_frame = Phys_mem.alloc m.Machine.pmem in
+  Phys_mem.zero m.Machine.pmem dead_frame;
+  let t =
+    {
+      m;
+      kernel;
+      config;
+      nchunks = config.region_pages / config.chunk_pages;
+      chunk_owner = Array.make (config.region_pages / config.chunk_pages) None;
+      owned_count = Hashtbl.create 8;
+      fbuf_index = Hashtbl.create 1024;
+      dead_frame;
+      dead_reads = 0;
+    }
+  in
+  kernel.Pd.fault_hook <- Some (dead_page_hook t);
+  t
+
+let register_domain t (dom : Pd.t) =
+  (* Reserving the range costs one map-level range operation; individual
+     pages are mapped only as fbufs are transferred in. *)
+  Machine.charge t.m t.m.cost.Cost_model.vm_range_op;
+  dom.Pd.fault_hook <- Some (dead_page_hook t)
+
+let owned t (dom : Pd.t) =
+  match Hashtbl.find_opt t.owned_count dom.Pd.id with Some n -> n | None -> 0
+
+let chunks_owned t dom = owned t dom
+
+let alloc_chunks t (dom : Pd.t) ~nchunks =
+  if nchunks <= 0 then invalid_arg "Region.alloc_chunks: nchunks must be > 0";
+  if owned t dom + nchunks > t.config.max_chunks_per_allocator then
+    raise
+      (Chunk_limit_exceeded
+         (Printf.sprintf "%s would own %d chunks (limit %d)" dom.Pd.name
+            (owned t dom + nchunks)
+            t.config.max_chunks_per_allocator));
+  (* Chunk requests from user domains travel to the kernel over IPC; this
+     is the slow path the two-level allocator amortizes away. *)
+  if not (Pd.equal dom t.kernel) then begin
+    Machine.charge t.m t.m.cost.Cost_model.ipc_call;
+    Machine.charge t.m t.m.cost.Cost_model.ipc_reply;
+    Stats.incr t.m.stats "region.chunk_rpc"
+  end;
+  Machine.charge t.m t.m.cost.Cost_model.vm_range_op;
+  (* First-fit search for a contiguous free run. *)
+  let rec find start =
+    if start + nchunks > t.nchunks then raise Region_exhausted
+    else
+      let rec run i =
+        if i = nchunks then true
+        else if t.chunk_owner.(start + i) = None then run (i + 1)
+        else false
+      in
+      if run 0 then start else find (start + 1)
+  in
+  let start = find 0 in
+  for i = start to start + nchunks - 1 do
+    t.chunk_owner.(i) <- Some dom.Pd.id
+  done;
+  Hashtbl.replace t.owned_count dom.Pd.id (owned t dom + nchunks);
+  Stats.add t.m.stats "region.chunks_granted" nchunks;
+  t.config.base_vpn + (start * t.config.chunk_pages)
+
+let free_chunks t (dom : Pd.t) ~vpn ~nchunks =
+  let start = (vpn - t.config.base_vpn) / t.config.chunk_pages in
+  if start < 0 || start + nchunks > t.nchunks then
+    invalid_arg "Region.free_chunks: range outside region";
+  for i = start to start + nchunks - 1 do
+    (match t.chunk_owner.(i) with
+    | Some id when id = dom.Pd.id -> ()
+    | Some _ | None ->
+        invalid_arg "Region.free_chunks: chunk not owned by domain");
+    t.chunk_owner.(i) <- None
+  done;
+  Machine.charge t.m t.m.cost.Cost_model.vm_range_op;
+  Hashtbl.replace t.owned_count dom.Pd.id (owned t dom - nchunks)
+
+let register_fbuf t (fb : Fbuf.t) =
+  for i = 0 to fb.Fbuf.npages - 1 do
+    Hashtbl.replace t.fbuf_index (fb.Fbuf.base_vpn + i) fb
+  done
+
+let unregister_fbuf t (fb : Fbuf.t) =
+  for i = 0 to fb.Fbuf.npages - 1 do
+    Hashtbl.remove t.fbuf_index (fb.Fbuf.base_vpn + i)
+  done
+
+let registered_fbufs t =
+  let seen = Hashtbl.create 64 in
+  Hashtbl.fold
+    (fun _ (fb : Fbuf.t) acc ->
+      if Hashtbl.mem seen fb.Fbuf.id then acc
+      else begin
+        Hashtbl.add seen fb.Fbuf.id ();
+        fb :: acc
+      end)
+    t.fbuf_index []
+
+let dead_page_reads t = t.dead_reads

@@ -1,0 +1,71 @@
+(** The fbuf region: a globally shared virtual address range.
+
+    A single range of virtual addresses is reserved in every protection
+    domain, including the kernel. The kernel hands out ownership of fixed
+    size *chunks* of the region to per-domain allocators (the upper level of
+    the two-level allocation scheme), bounding each allocator's share so a
+    malicious or leaky domain cannot exhaust the region.
+
+    The region also implements the paper's defence for integrated buffer
+    management over volatile fbufs: a read from a domain to a region address
+    for which it has no mapping is resolved by mapping a zeroed "dead" page
+    read-only at that address, so invalid DAG references appear as the
+    absence of data instead of a crash. *)
+
+type config = {
+  base_vpn : int;  (** first virtual page of the region *)
+  region_pages : int;  (** total size in pages *)
+  chunk_pages : int;  (** chunk granularity handed to allocators *)
+  max_chunks_per_allocator : int;  (** anti-hoarding limit *)
+  zero_on_alloc : bool;
+      (** clear frames on (re)allocation of uncached fbufs; the paper's
+          Table 1 excludes this 57 us/page cost, so experiments matching the
+          table disable it and the security ablation re-enables it *)
+}
+
+val default_config : config
+(** base 0x40000 (1 GB), 8192 pages (32 MB), 16-page (64 KB) chunks,
+    64 chunks per allocator, zeroing off (Table 1 comparability). *)
+
+type t
+
+exception Chunk_limit_exceeded of string
+exception Region_exhausted
+
+val create : Fbufs_sim.Machine.t -> kernel:Fbufs_vm.Pd.t -> ?config:config -> unit -> t
+
+val machine : t -> Fbufs_sim.Machine.t
+val kernel : t -> Fbufs_vm.Pd.t
+val config : t -> config
+
+val register_domain : t -> Fbufs_vm.Pd.t -> unit
+(** Reserve the region range in the domain and install the dead-page fault
+    hook. Must be called for every domain that will touch fbufs. *)
+
+val in_region : t -> vpn:int -> bool
+
+val alloc_chunks : t -> Fbufs_vm.Pd.t -> nchunks:int -> int
+(** Hand ownership of [nchunks] *contiguous* chunks to a domain; returns the
+    base VPN. Charges kernel VM work, plus an IPC round trip when the
+    requester is not the kernel (this is the rare slow path of the two-level
+    scheme). Raises {!Chunk_limit_exceeded} or {!Region_exhausted}. *)
+
+val free_chunks : t -> Fbufs_vm.Pd.t -> vpn:int -> nchunks:int -> unit
+(** Return chunk ownership (e.g. on path teardown). *)
+
+val chunks_owned : t -> Fbufs_vm.Pd.t -> int
+
+val register_fbuf : t -> Fbuf.t -> unit
+(** Index the fbuf by its pages, for integrated-transfer lookup. *)
+
+val unregister_fbuf : t -> Fbuf.t -> unit
+
+val fbuf_at : t -> vpn:int -> Fbuf.t option
+(** The live fbuf covering a region page, if any. *)
+
+val registered_fbufs : t -> Fbuf.t list
+(** Every fbuf currently registered in the region (deduplicated), for
+    kernel sweeps such as domain termination. *)
+
+val dead_page_reads : t -> int
+(** How many invalid reads were resolved to the dead page (diagnostics). *)

@@ -1,0 +1,140 @@
+open Fbufs_sim
+open Fbufs_vm
+
+exception Dead_fbuf of string
+
+let check_active (fb : Fbuf.t) op =
+  match fb.Fbuf.state with
+  | Fbuf.Active -> ()
+  | Fbuf.Cached_free | Fbuf.Dead ->
+      raise (Dead_fbuf (Printf.sprintf "%s: fbuf#%d is not active" op fb.id))
+
+let stats (fb : Fbuf.t) = fb.Fbuf.m.Machine.stats
+
+(* Revoke the originator's write permission (immutability enforcement). *)
+let protect_originator (fb : Fbuf.t) =
+  let orig = Fbuf.originator fb in
+  if orig.Pd.kernel then
+    (* Trusted originator: enforcement is a no-op. *)
+    Stats.incr (stats fb) "fbuf.secure_noop"
+  else begin
+    Vm_map.protect orig.Pd.map ~vpn:fb.base_vpn ~npages:fb.npages
+      ~prot:Prot.Read_only;
+    Stats.incr (stats fb) "fbuf.secured"
+  end;
+  fb.Fbuf.secured <- true
+
+let secure fb =
+  check_active fb "Transfer.secure";
+  if not fb.Fbuf.secured then protect_originator fb
+
+let is_secured (fb : Fbuf.t) = fb.Fbuf.secured
+
+(* Grant the receiver the *right* to map the fbuf; the mappings themselves
+   are established lazily, on first touch, by the region's fault hook. A
+   receiver that never examines the data (the paper's netserver case) never
+   pays any per-page VM cost. The only eager work is clearing stale
+   mappings left from an earlier life of these addresses (e.g. a dead page
+   faulted in by a speculative read). *)
+let grant (fb : Fbuf.t) (dst : Pd.t) =
+  let orig = Fbuf.originator fb in
+  for i = 0 to fb.npages - 1 do
+    let vpn = fb.base_vpn + i in
+    match Vm_map.frame_of dst.Pd.map ~vpn with
+    | Some f when Vm_map.frame_of orig.Pd.map ~vpn <> Some f ->
+        Vm_map.unmap dst.Pd.map ~vpn ~npages:1 ~free_frames:true
+    | Some _ | None -> ()
+  done;
+  fb.Fbuf.mapped_in <- dst :: fb.Fbuf.mapped_in
+
+let send (fb : Fbuf.t) ~src ~dst =
+  check_active fb "Transfer.send";
+  if Fbuf.ref_count fb src = 0 then
+    invalid_arg
+      (Printf.sprintf "Transfer.send: %s holds no reference to fbuf#%d"
+         src.Pd.name fb.id);
+  if Pd.equal src dst then invalid_arg "Transfer.send: src = dst";
+  if fb.variant.cached && not (Path.mem fb.path dst) then
+    invalid_arg
+      (Printf.sprintf "Transfer.send: %s is not on %s's path" dst.Pd.name
+         (Fbuf.variant_name fb.variant));
+  (* Eager immutability enforcement for non-volatile fbufs. *)
+  if (not fb.variant.volatile) && not fb.Fbuf.secured then
+    protect_originator fb;
+  if not (Fbuf.is_mapped_in fb dst) then grant fb dst;
+  Fbuf.add_ref fb dst;
+  Stats.incr (stats fb) "fbuf.send"
+
+(* Full teardown of an uncached (or evicted) fbuf. *)
+let teardown (fb : Fbuf.t) =
+  let orig = Fbuf.originator fb in
+  List.iter
+    (fun (d : Pd.t) ->
+      Vm_map.unmap d.Pd.map ~vpn:fb.base_vpn ~npages:fb.npages
+        ~free_frames:true)
+    fb.Fbuf.mapped_in;
+  fb.Fbuf.mapped_in <- [];
+  Vm_map.unmap orig.Pd.map ~vpn:fb.base_vpn ~npages:fb.npages
+    ~free_frames:true;
+  fb.Fbuf.state <- Fbuf.Dead
+
+let unmap_receiver (fb : Fbuf.t) (dom : Pd.t) =
+  if List.exists (Pd.equal dom) fb.Fbuf.mapped_in then begin
+    Vm_map.unmap dom.Pd.map ~vpn:fb.base_vpn ~npages:fb.npages
+      ~free_frames:true;
+    fb.Fbuf.mapped_in <-
+      List.filter (fun d -> not (Pd.equal d dom)) fb.Fbuf.mapped_in
+  end
+
+let restore_originator_write (fb : Fbuf.t) =
+  let orig = Fbuf.originator fb in
+  if fb.Fbuf.secured then begin
+    if not orig.Pd.kernel then
+      Vm_map.protect orig.Pd.map ~vpn:fb.base_vpn ~npages:fb.npages
+        ~prot:Prot.Read_write;
+    fb.Fbuf.secured <- false
+  end
+
+let free (fb : Fbuf.t) ~dom =
+  check_active fb "Transfer.free";
+  Fbuf.drop_ref fb dom;
+  let orig = Fbuf.originator fb in
+  (* An uncached receiver that is done with the buffer has no further use
+     for its mapping; cached receivers keep theirs (that is the cache). *)
+  if (not fb.variant.cached) && not (Pd.equal dom orig) then
+    unmap_receiver fb dom;
+  if Fbuf.total_refs fb = 0 then begin
+    if fb.variant.cached then begin
+      (* Return write permission to the originator and park the buffer on
+         its path's free list, mappings intact. *)
+      restore_originator_write fb;
+      fb.Fbuf.state <- Fbuf.Cached_free
+    end
+    else teardown fb;
+    Stats.incr (stats fb) "fbuf.last_free";
+    match fb.Fbuf.on_all_freed with Some f -> f fb | None -> ()
+  end
+
+let destroy_cached (fb : Fbuf.t) =
+  (match fb.Fbuf.state with
+  | Fbuf.Cached_free -> ()
+  | Fbuf.Active | Fbuf.Dead ->
+      invalid_arg "Transfer.destroy_cached: fbuf not on a free list");
+  fb.Fbuf.state <- Fbuf.Active;
+  (* teardown expects an active buffer; transition through it. *)
+  teardown fb
+
+let reclaim_memory (fb : Fbuf.t) =
+  (match fb.Fbuf.state with
+  | Fbuf.Cached_free -> ()
+  | Fbuf.Active | Fbuf.Dead ->
+      invalid_arg "Transfer.reclaim_memory: fbuf not on a free list");
+  let orig = Fbuf.originator fb in
+  List.iter
+    (fun (d : Pd.t) ->
+      Vm_map.unmap d.Pd.map ~vpn:fb.base_vpn ~npages:fb.npages
+        ~free_frames:true)
+    fb.Fbuf.mapped_in;
+  fb.Fbuf.mapped_in <- [];
+  Vm_map.convert_zero_fill orig.Pd.map ~vpn:fb.base_vpn ~npages:fb.npages;
+  Stats.incr (stats fb) "fbuf.reclaimed"

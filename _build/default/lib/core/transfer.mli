@@ -1,0 +1,45 @@
+(** Cross-domain fbuf transfer semantics.
+
+    Implements the paper's section 3 operations over the simulated VM:
+
+    - {!send}: logically copy an fbuf into a receiver domain. Because the
+      fbuf region is mapped at the same virtual address everywhere, no
+      receiver-side address allocation happens; for cached fbufs whose
+      receiver mapping already exists, a send is free of VM work. For
+      non-volatile fbufs the first send eagerly revokes the originator's
+      write permission (immutability enforcement); volatile fbufs skip this
+      and rely on {!secure}.
+    - {!secure}: a receiver's explicit request to raise protection on a
+      volatile fbuf before interpreting its contents; a no-op when the
+      originator is the trusted kernel.
+    - {!free}: drop a domain's reference. When the last reference goes,
+      cached fbufs return write permission to the originator and are handed
+      back to their allocator with all mappings intact; uncached fbufs are
+      fully torn down (mappings removed, frames freed).
+
+    All VM cost accounting is emergent from the {!Fbufs_vm} calls made. *)
+
+exception Dead_fbuf of string
+
+val send : Fbuf.t -> src:Fbufs_vm.Pd.t -> dst:Fbufs_vm.Pd.t -> unit
+(** Transfer with copy semantics. [src] must hold a reference; [dst] gains
+    one. For cached fbufs [dst] must belong to the fbuf's path. *)
+
+val secure : Fbuf.t -> unit
+(** Ensure the originator can no longer modify the fbuf. Idempotent. *)
+
+val is_secured : Fbuf.t -> bool
+
+val free : Fbuf.t -> dom:Fbufs_vm.Pd.t -> unit
+(** Release [dom]'s reference. The last release triggers caching or
+    teardown as described above. *)
+
+val destroy_cached : Fbuf.t -> unit
+(** Fully tear down a [Cached_free] fbuf: remove every mapping, free the
+    frames. Used by allocator teardown and by memory-pressure eviction. *)
+
+val reclaim_memory : Fbuf.t -> unit
+(** Pageout daemon interface: discard the physical memory of a
+    [Cached_free] fbuf (contents are dropped, not paged out — they are free
+    buffers). The originator's pages become lazily zero-filled; receiver
+    mappings are removed and will be re-established on the next send. *)

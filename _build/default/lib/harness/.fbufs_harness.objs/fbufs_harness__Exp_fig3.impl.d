@@ -1,0 +1,1 @@
+lib/harness/exp_fig3.ml: Cost_model Fbuf Fbufs Fbufs_baseline Fbufs_ipc Fbufs_msg Fbufs_protocols Fbufs_sim List Machine Report Testbed

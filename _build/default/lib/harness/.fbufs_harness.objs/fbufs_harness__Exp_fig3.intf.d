@@ -1,0 +1,1 @@
+lib/harness/exp_fig3.mli: Report

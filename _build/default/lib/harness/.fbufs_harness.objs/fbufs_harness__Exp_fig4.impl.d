@@ -1,0 +1,1 @@
+lib/harness/exp_fig4.ml: Fbuf Fbufs Fbufs_msg Fbufs_protocols Fbufs_sim List Machine Report Stacks Testbed

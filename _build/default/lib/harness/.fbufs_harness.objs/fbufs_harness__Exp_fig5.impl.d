@@ -1,0 +1,1 @@
+lib/harness/exp_fig5.ml: Cost_model Des Fbuf Fbufs Fbufs_msg Fbufs_netdev Fbufs_protocols Fbufs_sim Fbufs_vm Fbufs_xkernel List Machine Pd Report Testbed

@@ -1,0 +1,1 @@
+lib/harness/exp_remap.ml: Fbufs_baseline Fbufs_sim List Machine Printf Report String

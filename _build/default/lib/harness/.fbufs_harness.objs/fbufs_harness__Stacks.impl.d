@@ -1,0 +1,1 @@
+lib/harness/stacks.ml: Allocator Fbuf Fbufs Fbufs_msg Fbufs_protocols Fbufs_vm Fbufs_xkernel Testbed

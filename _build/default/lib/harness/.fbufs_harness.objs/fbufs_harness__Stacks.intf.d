@@ -1,0 +1,1 @@
+lib/harness/stacks.mli: Fbufs Fbufs_msg Fbufs_protocols Fbufs_vm Testbed

@@ -1,0 +1,1 @@
+lib/harness/testbed.ml: Cost_model Fbufs Fbufs_sim Fbufs_vm Machine Pd

@@ -1,0 +1,1 @@
+lib/harness/testbed.mli: Fbufs Fbufs_sim Fbufs_vm

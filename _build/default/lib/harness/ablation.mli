@@ -1,0 +1,58 @@
+(** Ablations of the design choices DESIGN.md section 6 calls out. *)
+
+val security_zeroing : unit -> unit
+(** Table 1's uncached rows with and without the 57 us/page clearing of
+    recycled pages — the cost the paper notes but excludes. *)
+
+val tlb_size : unit -> unit
+(** Per-page cost of cached/volatile transfers as the TLB grows: the 3 us
+    is software refill work, so a large-enough TLB absorbs it. *)
+
+val ipc_latency : unit -> unit
+(** Single-boundary throughput at 4 KB and 64 KB as the IPC latency scales:
+    small messages are latency-bound, large ones are not. *)
+
+val free_list_policy : unit -> unit
+(** LIFO vs FIFO free lists under memory pressure (periodic reclamation of
+    the coldest half): LIFO keeps reusing warm buffers. *)
+
+val window_size : unit -> unit
+(** End-to-end throughput (user-user, 256 KB messages) against the test
+    protocol's sliding-window size. *)
+
+val chunk_size : unit -> unit
+(** Kernel chunk-allocation RPCs for a mixed workload as the chunk
+    granularity varies: the two-level allocator's slow path. *)
+
+val ipc_facility : unit -> unit
+(** Mach kernel RPC vs a URPC-style user-level facility: with fbufs doing
+    the data plane without kernel help, the control-transfer facility is
+    the whole remaining cost for small messages. *)
+
+val integrated_vs_rebuild : unit -> unit
+(** Section 3.2.3: passing the aggregate object's root through fbufs vs
+    flattening to a descriptor list and rebuilding, as the fragment count
+    grows. *)
+
+val securing_policy : unit -> unit
+(** Volatile (lazy secure) vs eager immutability enforcement, for a
+    receiver that does and does not demand secured buffers. *)
+
+val adapter_demux : unit -> unit
+(** Section 5.2: "the use of cached fbufs requires a demultiplexing
+    capability in the network adapter" — end-to-end throughput with the
+    Osiris-style hardware demux vs an Ethernet-style fixed-pool adapter
+    that copies after software demux. *)
+
+val path_locality : unit -> unit
+(** The driver's 16-most-recently-used cached-path table against the
+    number of concurrent flows: within the table every PDU lands in a
+    cached buffer; beyond it, LRU churn sends a growing fraction of
+    arrivals through the uncached slow path — the locality bet the paper
+    makes explicit. *)
+
+val pdu_size_cpu_load : unit -> unit
+(** The paper's section-4 CPU-load discussion: receiver load at 1 MB
+    messages for cached vs uncached fbufs with 16 KB and 32 KB PDUs. *)
+
+val run_all : unit -> unit

@@ -1,0 +1,9 @@
+(** Figure 3: throughput of a single domain-boundary crossing as a function
+    of message size, including IPC latency — the four fbuf variants against
+    Mach's native transfer facility (copy under 2 KB, COW above). *)
+
+val sizes : int list
+(** 1 KB to 1 MB, powers of two. *)
+
+val run : unit -> Report.series list
+val print : Report.series list -> unit

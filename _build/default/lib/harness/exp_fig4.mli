@@ -1,0 +1,8 @@
+(** Figure 4: UDP/IP local-loopback throughput (infinitely fast network),
+    single protection domain vs three domains with cached and uncached
+    fbufs. IP fragments at 4 KB. *)
+
+val sizes : int list
+
+val run : unit -> Report.series list
+val print : Report.series list -> unit

@@ -1,0 +1,47 @@
+(** Figures 5 and 6: end-to-end UDP/IP throughput between two hosts joined
+    by a null modem on simulated Osiris ATM boards, IP PDU = 16 KB, sliding
+    window flow control.
+
+    Three configurations, as in the paper:
+    - kernel-kernel: the whole stack, including the test protocols, in the
+      kernel (baseline: no domain crossings);
+    - user-user: one kernel/user crossing per host;
+    - user-netserver-user: UDP in a user-level network server, adding a
+      second crossing per host.
+
+    [uncached:false] reproduces Figure 5 (cached/volatile fbufs);
+    [uncached:true] reproduces Figure 6 (uncached, non-volatile fbufs —
+    whose extra costs fall on the transmit host for the non-volatile part
+    and the receive host for the uncached part). *)
+
+type config = Kernel_kernel | User_user | User_netserver_user
+
+val config_name : config -> string
+
+type point = {
+  bytes : int;
+  mbps : float;
+  rx_cpu_load : float;  (** receiving host CPU utilization *)
+  tx_cpu_load : float;
+}
+
+val sizes : int list
+(** 4 KB to 1 MB. *)
+
+val run_one :
+  uncached:bool ->
+  config:config ->
+  bytes:int ->
+  ?pdu_size:int ->
+  ?window:int ->
+  ?nmsgs:int ->
+  ?hw_demux:bool ->
+  unit ->
+  point
+(** [hw_demux:false] replaces the receiving Osiris board with an
+    Ethernet-style adapter that cannot demultiplex before the transfer
+    (section 5.2): every PDU pays a software-demux copy. *)
+
+val run : uncached:bool -> ?pdu_size:int -> ?window:int -> unit -> Report.series list
+
+val print : Report.series list -> unit

@@ -1,0 +1,34 @@
+open Fbufs_sim
+module Dash = Fbufs_baseline.Dash_remap
+
+type row = { scenario : string; per_page_us : float; paper_us : float option }
+
+let run () =
+  let fresh () = Machine.create ~nframes:8192 () in
+  let pp = Dash.ping_pong_per_page (fresh ()) ~npages:16 ~rounds:20 in
+  let realistic clear =
+    Dash.realistic_per_page (fresh ()) ~npages:16 ~rounds:20
+      ~clear_fraction:clear
+  in
+  [
+    { scenario = "ping-pong (as published)"; per_page_us = pp; paper_us = Some 22.0 };
+    { scenario = "realistic, 0% cleared"; per_page_us = realistic 0.0; paper_us = Some 42.0 };
+    { scenario = "realistic, 25% cleared"; per_page_us = realistic 0.25; paper_us = None };
+    { scenario = "realistic, 50% cleared"; per_page_us = realistic 0.5; paper_us = None };
+    { scenario = "realistic, 100% cleared"; per_page_us = realistic 1.0; paper_us = Some 99.0 };
+  ]
+
+let print rows =
+  Report.print_title "Section 2.2.1: page remapping, ping-pong vs realistic";
+  Report.print_columns [ "scenario"; "us/page"; "paper us" ];
+  List.iter
+    (fun r ->
+      print_endline
+        (String.concat "  "
+           (List.map (Report.cell ~width:14)
+              [
+                Printf.sprintf "%-26s" r.scenario;
+                Printf.sprintf "%.1f" r.per_page_us;
+                Report.fmt_opt r.paper_us;
+              ])))
+    rows

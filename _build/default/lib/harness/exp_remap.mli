@@ -1,0 +1,15 @@
+(** Section 2.2.1: the DASH-style remap facility measured honestly.
+
+    Reproduces the paper's update of the Tzou/Anderson result on the
+    DecStation: ~22 us/page in the ping-pong configuration, rising to
+    42-99 us/page for a realistic one-way flow that must allocate, clear
+    (0-100% of each page) and deallocate buffers. *)
+
+type row = {
+  scenario : string;
+  per_page_us : float;
+  paper_us : float option;
+}
+
+val run : unit -> row list
+val print : row list -> unit

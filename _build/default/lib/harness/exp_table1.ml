@@ -1,0 +1,149 @@
+open Fbufs_sim
+open Fbufs
+module Msg = Fbufs_msg.Msg
+module Ipc = Fbufs_ipc.Ipc
+module Testproto = Fbufs_protocols.Testproto
+
+type row = {
+  mechanism : string;
+  per_page_us : float;
+  asymptotic_mbps : float;
+  paper_us : float option;
+  paper_mbps : float option;
+}
+
+let warmup = 3
+let iters = 15
+let small_pages = 8
+let large_pages = 40
+
+(* One fbuf-variant measurement on a fresh host. *)
+let fbuf_slope ~zero_on_alloc variant =
+  let config = { Region.default_config with Region.zero_on_alloc } in
+  let tb = Testbed.create ~config () in
+  let m = tb.Testbed.m in
+  let app = Testbed.user_domain tb "app" in
+  let recv = Testbed.user_domain tb "recv" in
+  let alloc = Testbed.allocator tb ~domains:[ app; recv ] variant in
+  let conn = Ipc.connect tb.Testbed.region ~src:app ~dst:recv () in
+  let roundtrip npages =
+    let bytes = npages * m.Machine.cost.Cost_model.page_size in
+    let msg = Testproto.make_message ~alloc ~as_:app ~bytes () in
+    Ipc.call conn msg ~handler:(fun received ->
+        Msg.touch_read received ~as_:recv;
+        Ipc.free_deferred conn received);
+    Msg.free_all msg ~dom:app
+  in
+  let measure npages =
+    for _ = 1 to warmup do
+      roundtrip npages
+    done;
+    let t0 = Machine.now m in
+    for _ = 1 to iters do
+      roundtrip npages
+    done;
+    (Machine.now m -. t0) /. float_of_int iters
+  in
+  let a = measure small_pages and b = measure large_pages in
+  (b -. a) /. float_of_int (large_pages - small_pages)
+
+let baseline_slope transfer =
+  (* [transfer] performs one message transfer of the given byte count on a
+     machine it was created over; the caller passes a closure over fresh
+     domains. *)
+  fun (m : Machine.t) ->
+    let ps = m.Machine.cost.Cost_model.page_size in
+    let measure npages =
+      for _ = 1 to warmup do
+        transfer (npages * ps)
+      done;
+      let t0 = Machine.now m in
+      for _ = 1 to iters do
+        transfer (npages * ps)
+      done;
+      (Machine.now m -. t0) /. float_of_int iters
+    in
+    let a = measure small_pages and b = measure large_pages in
+    (b -. a) /. float_of_int (large_pages - small_pages)
+
+let run ?(zero_on_alloc = false) () =
+  let page_bits = 4096 * 8 in
+  let fbuf_row name variant paper_us paper_mbps =
+    let slope = fbuf_slope ~zero_on_alloc variant in
+    {
+      mechanism = name;
+      per_page_us = slope;
+      asymptotic_mbps = float_of_int page_bits /. slope;
+      paper_us;
+      paper_mbps;
+    }
+  in
+  let cow_row =
+    let tb = Testbed.create () in
+    let src = Testbed.user_domain tb "mach-src" in
+    let dst = Testbed.user_domain tb "mach-dst" in
+    let mach =
+      Fbufs_baseline.Mach_native.create ~src ~dst ~kernel:tb.Testbed.kernel
+    in
+    let slope =
+      baseline_slope
+        (fun bytes -> Fbufs_baseline.Mach_native.transfer_cow mach ~bytes)
+        tb.Testbed.m
+    in
+    {
+      mechanism = "Mach COW";
+      per_page_us = slope;
+      asymptotic_mbps = float_of_int page_bits /. slope;
+      paper_us = None (* garbled in the source text *);
+      paper_mbps = None;
+    }
+  in
+  let copy_row =
+    let tb = Testbed.create () in
+    let src = Testbed.user_domain tb "copy-src" in
+    let dst = Testbed.user_domain tb "copy-dst" in
+    let copy =
+      Fbufs_baseline.Copy_transfer.create ~src ~dst ~kernel:tb.Testbed.kernel
+        ~max_bytes:(large_pages * 4096)
+    in
+    let slope =
+      baseline_slope
+        (fun bytes -> Fbufs_baseline.Copy_transfer.transfer copy ~bytes)
+        tb.Testbed.m
+    in
+    {
+      mechanism = "copy";
+      per_page_us = slope;
+      asymptotic_mbps = float_of_int page_bits /. slope;
+      paper_us = None;
+      paper_mbps = None;
+    }
+  in
+  [
+    fbuf_row "fbufs, cached/volatile" Fbuf.cached_volatile (Some 3.0)
+      (Some 10922.0);
+    fbuf_row "fbufs, volatile" Fbuf.volatile_only (Some 21.0) (Some 1560.0);
+    fbuf_row "fbufs, cached" Fbuf.cached_only (Some 29.0) (Some 1130.0);
+    fbuf_row "fbufs (plain)" Fbuf.plain None None;
+    cow_row;
+    copy_row;
+  ]
+
+let print rows =
+  Report.print_title
+    "Table 1: incremental per-page cost and asymptotic throughput";
+  Report.print_columns
+    [ "mechanism"; "us/page"; "Mb/s"; "paper us"; "paper Mb/s" ];
+  List.iter
+    (fun r ->
+      print_endline
+        (String.concat "  "
+           (List.map (Report.cell ~width:14)
+              [
+                Printf.sprintf "%-24s" r.mechanism;
+                Printf.sprintf "%.1f" r.per_page_us;
+                Printf.sprintf "%.0f" r.asymptotic_mbps;
+                Report.fmt_opt r.paper_us;
+                Report.fmt_opt r.paper_mbps;
+              ])))
+    rows

@@ -1,0 +1,26 @@
+(** Table 1: incremental per-page cost and asymptotic throughput of a
+    single-boundary transfer, for the four fbuf variants, Mach COW, and
+    software copy.
+
+    Methodology matches the paper's first experiment: a test protocol in
+    the originator domain repeatedly allocates a message, writes one word
+    per page, and passes it over IPC to a dummy protocol in the receiver
+    domain, which reads one word per page, deallocates and returns. The
+    incremental cost is the slope of elapsed time against page count
+    (independent of IPC latency); the asymptotic bandwidth is
+    page-bits / slope. *)
+
+type row = {
+  mechanism : string;
+  per_page_us : float;
+  asymptotic_mbps : float;
+  paper_us : float option;  (** None where the source text is garbled *)
+  paper_mbps : float option;
+}
+
+val run : ?zero_on_alloc:bool -> unit -> row list
+(** [zero_on_alloc] (default false, matching the table, which excludes the
+    57 us/page clearing cost) re-enables security clearing of uncached
+    allocations — the ablation the paper discusses in prose. *)
+
+val print : row list -> unit

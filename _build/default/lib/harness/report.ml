@@ -1,0 +1,48 @@
+let mbps ~bytes ~us =
+  if us <= 0.0 then infinity else float_of_int bytes *. 8.0 /. us
+
+let print_title s =
+  Printf.printf "\n== %s ==\n" s
+
+let cell ~width s =
+  if String.length s >= width then s
+  else String.make (width - String.length s) ' ' ^ s
+
+let print_columns cols =
+  let line = String.concat "  " (List.map (cell ~width:14) cols) in
+  print_endline line;
+  print_endline (String.make (String.length line) '-')
+
+let fmt_size n =
+  if n >= 1 lsl 20 && n mod (1 lsl 20) = 0 then
+    Printf.sprintf "%dM" (n lsr 20)
+  else if n >= 1024 && n mod 1024 = 0 then Printf.sprintf "%dK" (n lsr 10)
+  else string_of_int n
+
+let fmt_opt = function
+  | None -> "-"
+  | Some v ->
+      if v >= 100.0 then Printf.sprintf "%.0f" v else Printf.sprintf "%.1f" v
+
+type series = { name : string; points : (int * float) list }
+
+let print_series_table ~x_label series =
+  print_columns (x_label :: List.map (fun s -> s.name) series);
+  let xs =
+    List.sort_uniq compare
+      (List.concat_map (fun s -> List.map fst s.points) series)
+  in
+  List.iter
+    (fun x ->
+      let cells =
+        List.map
+          (fun s ->
+            match List.assoc_opt x s.points with
+            | Some y -> Printf.sprintf "%.1f" y
+            | None -> "-")
+          series
+      in
+      print_endline
+        (String.concat "  "
+           (List.map (cell ~width:14) (fmt_size x :: cells))))
+    xs

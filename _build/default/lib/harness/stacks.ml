@@ -1,0 +1,91 @@
+open Fbufs
+module Msg = Fbufs_msg.Msg
+module Protocol = Fbufs_xkernel.Protocol
+module Proxy = Fbufs_xkernel.Proxy
+module Ip = Fbufs_protocols.Ip
+module Udp = Fbufs_protocols.Udp
+module Loopback = Fbufs_protocols.Loopback
+module Testproto = Fbufs_protocols.Testproto
+
+type t = {
+  tb : Testbed.t;
+  send : Msg.t -> unit;
+  data_alloc : Allocator.t;
+  sender_dom : Fbufs_vm.Pd.t;
+  sink : Testproto.sink;
+  ip : Ip.t;
+}
+
+let port = 2000
+
+let single_domain ?(variant = Fbuf.cached_volatile) ?(pdu_size = 4096) () =
+  let tb = Testbed.create () in
+  let d = Testbed.user_domain tb "node" in
+  let header_alloc = Testbed.allocator tb ~domains:[ d ] variant in
+  let lb = Loopback.create ~dom:d () in
+  let ip =
+    Ip.create ~dom:d ~below:(Loopback.proto lb) ~header_alloc ~pdu_size ()
+  in
+  Loopback.set_up lb (Ip.proto ip);
+  let udp =
+    Udp.create ~dom:d ~below:(Ip.proto ip)
+      ~header_alloc:(Testbed.allocator tb ~domains:[ d ] variant)
+      ~dst_port:port ()
+  in
+  Ip.set_up ip (Udp.proto udp);
+  let sink = Testproto.sink ~dom:d () in
+  Udp.bind udp ~port (Testproto.sink_proto sink);
+  let data_alloc = Testbed.allocator tb ~domains:[ d ] variant in
+  {
+    tb;
+    send = (Udp.proto udp).Protocol.push;
+    data_alloc;
+    sender_dom = d;
+    sink;
+    ip;
+  }
+
+let three_domains ?(variant = Fbuf.cached_volatile) ?(pdu_size = 4096) () =
+  let tb = Testbed.create () in
+  let app = Testbed.user_domain tb "app" in
+  let ns = Testbed.user_domain tb "netserver" in
+  let recv = Testbed.user_domain tb "recv" in
+  (* Network server: loopback below IP below UDP. Header buffers for IP
+     stay inside the server; UDP's too (headers are stripped there on the
+     way back up). *)
+  let lb = Loopback.create ~dom:ns () in
+  let ip =
+    Ip.create ~dom:ns ~below:(Loopback.proto lb)
+      ~header_alloc:(Testbed.allocator tb ~domains:[ ns ] variant)
+      ~pdu_size ()
+  in
+  Loopback.set_up lb (Ip.proto ip);
+  let udp =
+    Udp.create ~dom:ns ~below:(Ip.proto ip)
+      ~header_alloc:(Testbed.allocator tb ~domains:[ ns ] variant)
+      ~dst_port:port ()
+  in
+  Ip.set_up ip (Udp.proto udp);
+  (* Receiver side: the reassembled payload crosses into the receiver
+     domain where the dummy protocol consumes it. *)
+  let sink = Testproto.sink ~dom:recv () in
+  let up_proxy =
+    Proxy.pop_proxy tb.Testbed.region ~from_dom:ns
+      ~target:(Testproto.sink_proto sink) ()
+  in
+  Udp.bind udp ~port up_proxy;
+  (* Sender side: the test protocol's messages cross from the application
+     domain into the network server. *)
+  let down_proxy =
+    Proxy.push_proxy tb.Testbed.region ~from_dom:app ~target:(Udp.proto udp)
+      ()
+  in
+  let data_alloc = Testbed.allocator tb ~domains:[ app; ns; recv ] variant in
+  {
+    tb;
+    send = down_proxy.Protocol.push;
+    data_alloc;
+    sender_dom = app;
+    sink;
+    ip;
+  }

@@ -1,0 +1,21 @@
+(** Protocol-graph assembly for the loopback experiments (Figure 4). *)
+
+type t = {
+  tb : Testbed.t;
+  send : Fbufs_msg.Msg.t -> unit;  (** entry point: push into UDP *)
+  data_alloc : Fbufs.Allocator.t;  (** where the test protocol's messages come from *)
+  sender_dom : Fbufs_vm.Pd.t;
+  sink : Fbufs_protocols.Testproto.sink;
+  ip : Fbufs_protocols.Ip.t;
+}
+
+val single_domain :
+  ?variant:Fbufs.Fbuf.variant -> ?pdu_size:int -> unit -> t
+(** Test protocol, UDP/IP, loopback and sink all in one protection domain
+    ("all components configured into a single protection domain"). *)
+
+val three_domains :
+  ?variant:Fbufs.Fbuf.variant -> ?pdu_size:int -> unit -> t
+(** The paper's microkernel configuration: test protocol in an application
+    domain, UDP/IP + loopback in a network-server domain, sink in a
+    receiver domain; one crossing on the way down, one on the way up. *)

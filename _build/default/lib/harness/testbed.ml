@@ -1,0 +1,21 @@
+open Fbufs_sim
+open Fbufs_vm
+
+type t = { m : Machine.t; kernel : Pd.t; region : Fbufs.Region.t }
+
+let create ?(name = "host") ?cost ?config ?(nframes = 32768) ?tlb_entries
+    ?seed () =
+  let m = Machine.create ~name ?cost ~nframes ?tlb_entries ?seed () in
+  let kernel = Pd.create m ~kernel:true "kernel" in
+  let region = Fbufs.Region.create m ~kernel ?config () in
+  { m; kernel; region }
+
+let user_domain t name =
+  let d = Pd.create t.m name in
+  Fbufs.Region.register_domain t.region d;
+  d
+
+let allocator t ~domains variant =
+  Fbufs.Allocator.create t.region ~path:(Fbufs.Path.create domains) ~variant ()
+
+let page_size t = t.m.Machine.cost.Cost_model.page_size

@@ -1,0 +1,27 @@
+(** Canned simulated-host setups shared by tests, examples and experiments. *)
+
+type t = {
+  m : Fbufs_sim.Machine.t;
+  kernel : Fbufs_vm.Pd.t;
+  region : Fbufs.Region.t;
+}
+
+val create :
+  ?name:string ->
+  ?cost:Fbufs_sim.Cost_model.t ->
+  ?config:Fbufs.Region.config ->
+  ?nframes:int ->
+  ?tlb_entries:int ->
+  ?seed:int ->
+  unit ->
+  t
+(** A host with a kernel domain and an fbuf region. *)
+
+val user_domain : t -> string -> Fbufs_vm.Pd.t
+(** Create a user protection domain registered with the fbuf region. *)
+
+val allocator :
+  t -> domains:Fbufs_vm.Pd.t list -> Fbufs.Fbuf.variant -> Fbufs.Allocator.t
+(** An allocator for the path [domains] (originator first). *)
+
+val page_size : t -> int

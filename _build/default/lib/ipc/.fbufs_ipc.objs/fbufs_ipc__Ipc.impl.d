@@ -1,0 +1,1 @@
+lib/ipc/ipc.ml: Allocator Cost_model Fbuf Fbufs Fbufs_msg Fbufs_sim Fbufs_vm List Machine Option Path Pd Region Stats Transfer

@@ -1,0 +1,1 @@
+lib/ipc/ipc.mli: Fbufs Fbufs_msg Fbufs_vm

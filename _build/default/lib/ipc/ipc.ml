@@ -1,0 +1,143 @@
+open Fbufs_sim
+open Fbufs_vm
+open Fbufs
+
+type mode = Rebuild | Integrated
+
+type facility = Mach | Urpc
+
+type conn = {
+  region : Region.t;
+  src : Pd.t;
+  dst : Pd.t;
+  mode : mode;
+  facility : facility;
+  auto_free_dst : bool;
+  meta_alloc : Allocator.t option;
+  m : Machine.t;
+  mutable pending : Fbuf.t list;
+}
+
+let threshold = 64
+
+let connect region ~src ~dst ?(mode = Rebuild) ?(facility = Mach)
+    ?(auto_free_dst = false) () =
+  let meta_alloc =
+    match mode with
+    | Rebuild -> None
+    | Integrated ->
+        Some
+          (Allocator.create region
+             ~path:(Path.create [ src; dst ])
+             ~variant:Fbuf.cached_volatile ())
+  in
+  {
+    region;
+    src;
+    dst;
+    mode;
+    facility;
+    auto_free_dst;
+    meta_alloc;
+    m = Region.machine region;
+    pending = [];
+  }
+
+let facility c = c.facility
+
+let src c = c.src
+let dst c = c.dst
+let mode c = c.mode
+
+let pending_deallocs c = List.length c.pending
+
+let process_pending c =
+  List.iter
+    (fun fb ->
+      Stats.incr c.m.Machine.stats "ipc.dealloc_processed";
+      Transfer.free fb ~dom:c.dst)
+    (List.rev c.pending);
+  c.pending <- []
+
+let explicit_flush c =
+  if c.pending <> [] then begin
+    Machine.charge c.m c.m.cost.Cost_model.ipc_call;
+    Machine.charge c.m c.m.cost.Cost_model.ipc_reply;
+    Stats.incr c.m.Machine.stats "ipc.explicit_dealloc_msg";
+    process_pending c
+  end
+
+let flush_deallocs c = explicit_flush c
+
+let free_deferred c msg =
+  List.iter
+    (fun (fb : Fbuf.t) ->
+      if Pd.equal (Fbuf.originator fb) c.src then begin
+        Stats.incr c.m.Machine.stats "ipc.dealloc_deferred";
+        c.pending <- fb :: c.pending
+      end
+      else Transfer.free fb ~dom:c.dst)
+    (Fbufs_msg.Msg.fbufs msg);
+  if List.length c.pending >= threshold then explicit_flush c
+
+let node_bytes msg = Fbufs_msg.Integrated.node_count msg * Fbufs_msg.Integrated.node_size
+
+let crossing_costs c =
+  let cost = c.m.Machine.cost in
+  match c.facility with
+  | Mach ->
+      ( cost.Cost_model.ipc_call,
+        cost.Cost_model.ipc_reply,
+        cost.Cost_model.ipc_tlb_footprint )
+  | Urpc ->
+      ( cost.Cost_model.urpc_call,
+        cost.Cost_model.urpc_reply,
+        cost.Cost_model.urpc_tlb_footprint )
+
+let call c msg ~handler =
+  let cost = c.m.Machine.cost in
+  let call_cost, reply_cost, footprint = crossing_costs c in
+  Machine.charge c.m call_cost;
+  Stats.incr c.m.Machine.stats "ipc.call";
+  (match c.mode with
+  | Rebuild ->
+      (* Flatten to an fbuf list, marshal one descriptor per buffer, and
+         let the receiving side reconstruct the aggregate. *)
+      let fbs = Fbufs_msg.Msg.fbufs msg in
+      Machine.charge c.m
+        (float_of_int (List.length fbs) *. cost.Cost_model.ipc_per_fbuf);
+      List.iter (fun fb -> Transfer.send fb ~src:c.src ~dst:c.dst) fbs;
+      Machine.domain_crossing_tlb_pressure ~entries:footprint c.m;
+      handler msg;
+      if c.auto_free_dst then Fbufs_msg.Msg.free_held msg ~dom:c.dst
+  | Integrated ->
+      let meta_alloc = Option.get c.meta_alloc in
+      let ps = cost.Cost_model.page_size in
+      let npages = max 1 ((node_bytes msg + ps - 1) / ps) in
+      let meta = Allocator.alloc meta_alloc ~npages in
+      let root_vaddr = Fbufs_msg.Integrated.serialize msg ~meta ~as_:c.src in
+      (* Only the root reference is marshalled; the kernel inspects the
+         aggregate to find the buffers to transfer. *)
+      Machine.charge c.m cost.Cost_model.ipc_per_fbuf;
+      let reachable =
+        Fbufs_msg.Integrated.reachable_fbufs c.region ~as_:c.src ~root_vaddr
+      in
+      List.iter (fun fb -> Transfer.send fb ~src:c.src ~dst:c.dst) reachable;
+      Machine.domain_crossing_tlb_pressure ~entries:footprint c.m;
+      let received =
+        Fbufs_msg.Integrated.deserialize c.region ~as_:c.dst ~root_vaddr
+      in
+      handler received;
+      if c.auto_free_dst then Fbufs_msg.Msg.free_held received ~dom:c.dst;
+      (* The meta buffer served its purpose on both sides. *)
+      Transfer.free meta ~dom:c.dst;
+      Transfer.free meta ~dom:c.src);
+  (* Reply path: control transfer back, carrying deferred deallocation
+     notices for free. *)
+  Machine.charge c.m reply_cost;
+  Machine.domain_crossing_tlb_pressure ~entries:footprint c.m;
+  if c.pending <> [] then begin
+    Stats.add c.m.Machine.stats "ipc.dealloc_piggybacked"
+      (List.length c.pending);
+    process_pending c
+  end

@@ -1,0 +1,76 @@
+(** Synchronous cross-domain invocation carrying fbuf-based messages.
+
+    Models Mach-style RPC between two protection domains on one host: a
+    call charges the control-transfer latency, displaces TLB entries
+    (kernel IPC path working set), hands the message's fbufs to the callee
+    via {!Fbufs.Transfer}, runs the handler "in" the callee, and returns.
+
+    Two message-passing modes implement section 3.2.3 of the paper:
+    - [Rebuild]: the aggregate object is flattened to a list of fbufs in
+      the sender, each descriptor is marshalled (charged per fbuf), and the
+      receiving side reconstructs the aggregate — buffer management and
+      transfer are separate facilities.
+    - [Integrated]: the DAG is serialized into a meta fbuf drawn from a
+      per-connection cached allocator and only the root address crosses;
+      the kernel walks the DAG to find the fbufs to transfer.
+
+    Deallocation notices: when the callee frees buffers owned by the
+    caller, the free is recorded and piggybacked on the next message
+    between the pair ({!free_deferred}); only when too many accumulate is
+    an explicit notification message charged. *)
+
+type mode = Rebuild | Integrated
+
+type facility = Mach | Urpc
+(** The control-transfer mechanism: Mach-style kernel RPC, or a user-level
+    RPC facility (URPC) with shared-memory queues. Because fbuf transfers
+    need no kernel work in the common case, fbufs compose with either; the
+    facility changes only latency and TLB pollution. *)
+
+type conn
+
+val connect :
+  Fbufs.Region.t ->
+  src:Fbufs_vm.Pd.t ->
+  dst:Fbufs_vm.Pd.t ->
+  ?mode:mode ->
+  ?facility:facility ->
+  ?auto_free_dst:bool ->
+  unit ->
+  conn
+(** A connection (port pair) from [src] to [dst]. Default mode [Rebuild].
+    In [Integrated] mode a cached meta-buffer allocator is created for the
+    path src -> dst.
+
+    With [auto_free_dst] (default false), the destination's references on
+    the delivered message are released once the handler returns — the
+    hand-off discipline protocol proxies use; a handler that must retain
+    the data past the call takes its own references. Without it, the
+    destination keeps its references until it frees them explicitly
+    ({!free_deferred}). *)
+
+val facility : conn -> facility
+
+val src : conn -> Fbufs_vm.Pd.t
+val dst : conn -> Fbufs_vm.Pd.t
+val mode : conn -> mode
+
+val call : conn -> Fbufs_msg.Msg.t -> handler:(Fbufs_msg.Msg.t -> unit) -> unit
+(** Synchronous invocation: transfers the message's fbufs to [dst], runs
+    [handler] on the receiver-side view of the message, processes deferred
+    deallocations, and returns. The callee's references persist until it
+    frees them ({!free_deferred} or {!Fbufs_msg.Msg.free_all}). *)
+
+val free_deferred : conn -> Fbufs_msg.Msg.t -> unit
+(** Called by the receiver when done with a message whose buffers belong to
+    the sender: queues deallocation notices to piggyback on the next
+    {!call} (or an explicit message once {!val-threshold} are pending). *)
+
+val threshold : int
+(** Pending-notice count that forces an explicit deallocation message. *)
+
+val pending_deallocs : conn -> int
+
+val flush_deallocs : conn -> unit
+(** Process pending deallocation notices immediately, paying an explicit
+    message if there are any (used on teardown). *)

@@ -1,0 +1,1 @@
+lib/msg/integrated.ml: Access Bytes Cost_model Fbuf Fbufs Fbufs_sim Fbufs_vm Hashtbl Int32 List Machine Msg Printf Region Stats

@@ -1,0 +1,1 @@
+lib/msg/integrated.mli: Fbufs Fbufs_vm Msg

@@ -1,0 +1,1 @@
+lib/msg/msg.ml: Access Bytes Cost_model Fbuf Fbufs Fbufs_sim Fbufs_vm Format Hashtbl List Machine Pd Printf Stats String Transfer

@@ -1,0 +1,1 @@
+lib/msg/msg.mli: Fbufs Fbufs_vm Format

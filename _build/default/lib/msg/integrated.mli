@@ -1,0 +1,39 @@
+(** Integrated buffer management: the aggregate object stored in fbufs.
+
+    The message DAG itself is serialized into an fbuf (the "meta" buffer),
+    so a cross-domain transfer passes a single root address: because the
+    fbuf region is mapped at the same virtual address everywhere, no
+    pointer translation is needed and steps (2a)/(3c) of the base mechanism
+    disappear.
+
+    The receiving side must defend against a malicious or faulty originator
+    mutating the DAG under it (volatile fbufs). Deserialization therefore
+    (1) range-checks every node and data pointer against the fbuf region,
+    (2) bounds traversal with a visited set (cycles) and a node budget, and
+    (3) reads of unmapped region pages resolve to the dead page, whose zero
+    tag decodes as "absence of data" — exactly the paper's behaviour. Bad
+    structure never raises; it yields an empty message and a stat. *)
+
+val node_size : int
+(** Bytes per serialized DAG node (16). *)
+
+val node_count : Msg.t -> int
+(** Number of nodes the serialized form of [m] needs. *)
+
+val serialize :
+  Msg.t -> meta:Fbufs.Fbuf.t -> as_:Fbufs_vm.Pd.t -> int
+(** Write the DAG into [meta] (which must be writable by [as_] and large
+    enough: [node_count m * node_size] bytes); returns the root node's
+    virtual address. Raises [Invalid_argument] if [meta] is too small. *)
+
+val deserialize :
+  Fbufs.Region.t -> as_:Fbufs_vm.Pd.t -> root_vaddr:int -> Msg.t
+(** Rebuild a message by traversing the DAG with the receiving domain's own
+    access rights. Invalid references appear as absent data; anomalies are
+    counted under "integrated.bad_node" / "integrated.cycle". *)
+
+val reachable_fbufs :
+  Fbufs.Region.t -> as_:Fbufs_vm.Pd.t -> root_vaddr:int -> Fbufs.Fbuf.t list
+(** The distinct fbufs a transfer of this DAG must move: every fbuf holding
+    a reachable node plus every fbuf holding referenced data. Walked with
+    [as_]'s rights (the kernel, in the transfer path). *)

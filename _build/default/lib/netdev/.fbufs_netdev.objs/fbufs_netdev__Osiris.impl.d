@@ -1,0 +1,1 @@
+lib/netdev/osiris.ml: Allocator Bytes Cost_model Des Fbuf Fbufs Fbufs_msg Fbufs_sim Fbufs_vm Float Hashtbl List Machine Path Pd Phys_mem Prot Region Rng Stats Vm_map

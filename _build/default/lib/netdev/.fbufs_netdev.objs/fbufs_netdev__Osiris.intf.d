@@ -1,0 +1,1 @@
+lib/netdev/osiris.mli: Fbufs Fbufs_msg Fbufs_sim Fbufs_vm

@@ -1,0 +1,254 @@
+open Fbufs_sim
+open Fbufs_vm
+open Fbufs
+module Msg = Fbufs_msg.Msg
+
+let max_cached_paths = 16
+
+(* AAL5-style trailer bytes carried per PDU on the wire. *)
+let pdu_overhead = 8
+
+type t = {
+  m : Machine.t;
+  des : Des.t;
+  region : Region.t;
+  kernel : Pd.t;
+  mutable peer : t option;
+  vci_allocs : (int, Allocator.t) Hashtbl.t;
+  vci_last_use : (int, float) Hashtbl.t;
+  uncached : Allocator.t;
+  mutable rx_handler : (vci:int -> Msg.t -> unit) option;
+  mutable link_free_at : float;
+  mutable cells_sent : int;
+  mutable pdus_received : int;
+  mutable uncached_rx : int;
+  mutable loss_rate : float;
+  mutable pdus_dropped : int;
+  mutable evictions : int;
+  hw_demux : bool;
+  mutable sw_demux_copies : int;
+}
+
+let create ~m ~des ~region ~kernel ?(hw_demux = true) () =
+  {
+    m;
+    des;
+    region;
+    kernel;
+    peer = None;
+    vci_allocs = Hashtbl.create 16;
+    vci_last_use = Hashtbl.create 16;
+    uncached = Allocator.default region ~owner:kernel;
+    rx_handler = None;
+    link_free_at = 0.0;
+    cells_sent = 0;
+    pdus_received = 0;
+    uncached_rx = 0;
+    loss_rate = 0.0;
+    pdus_dropped = 0;
+    evictions = 0;
+    hw_demux;
+    sw_demux_copies = 0;
+  }
+
+let connect a b =
+  a.peer <- Some b;
+  b.peer <- Some a
+
+let machine t = t.m
+
+(* Least-recently-used cached path (for replacement). *)
+let lru_vci t =
+  Hashtbl.fold
+    (fun vci _ best ->
+      let used =
+        match Hashtbl.find_opt t.vci_last_use vci with
+        | Some u -> u
+        | None -> 0.0
+      in
+      match best with
+      | Some (_, bu) when bu <= used -> best
+      | Some _ | None -> Some (vci, used))
+    t.vci_allocs None
+
+let evict_path t vci =
+  match Hashtbl.find_opt t.vci_allocs vci with
+  | None -> ()
+  | Some alloc ->
+      t.evictions <- t.evictions + 1;
+      Stats.incr t.m.stats "osiris.path_evicted";
+      Hashtbl.remove t.vci_allocs vci;
+      Hashtbl.remove t.vci_last_use vci;
+      Allocator.teardown alloc
+
+let register_path t ~vci ~domains =
+  (match domains with
+  | first :: _ when Pd.equal first t.kernel -> ()
+  | _ ->
+      invalid_arg
+        "Osiris.register_path: incoming data paths originate in the kernel");
+  if
+    (not (Hashtbl.mem t.vci_allocs vci))
+    && Hashtbl.length t.vci_allocs >= max_cached_paths
+  then begin
+    match lru_vci t with
+    | Some (victim, _) -> evict_path t victim
+    | None -> ()
+  end;
+  let alloc =
+    Allocator.create t.region ~path:(Path.create domains)
+      ~variant:Fbuf.cached_volatile ()
+  in
+  (match Hashtbl.find_opt t.vci_allocs vci with
+  | Some old when old != alloc -> Allocator.teardown old
+  | Some _ | None -> ());
+  Hashtbl.replace t.vci_allocs vci alloc;
+  Hashtbl.replace t.vci_last_use vci (Machine.now t.m)
+
+let set_rx_handler t f = t.rx_handler <- Some f
+
+let rx_allocator t ~vci = Hashtbl.find_opt t.vci_allocs vci
+
+let set_loss_rate t r =
+  if r < 0.0 || r > 1.0 then invalid_arg "Osiris.set_loss_rate";
+  t.loss_rate <- r
+
+let pdus_dropped t = t.pdus_dropped
+
+let evictions t = t.evictions
+
+let software_demux_copies t = t.sw_demux_copies
+
+let cells_sent t = t.cells_sent
+let pdus_received t = t.pdus_received
+let uncached_rx_pdus t = t.uncached_rx
+
+(* DMA engines address physical memory directly: no TLB, no CPU charges.
+   Frames are found through the owning domain's map. *)
+let dma_gather t msg =
+  let ps = t.m.Machine.cost.Cost_model.page_size in
+  let out = Bytes.create (Msg.length msg) in
+  let pos = ref 0 in
+  List.iter
+    (fun (l : Msg.leaf) ->
+      let orig = Fbuf.originator l.Msg.fbuf in
+      let rec copy vaddr remaining =
+        if remaining > 0 then begin
+          let off = vaddr mod ps in
+          let seg = min remaining (ps - off) in
+          (match Vm_map.frame_of orig.Pd.map ~vpn:(vaddr / ps) with
+          | Some f -> Bytes.blit (Phys_mem.data t.m.pmem f) off out !pos seg
+          | None -> Bytes.fill out !pos seg '\000');
+          pos := !pos + seg;
+          copy (vaddr + seg) (remaining - seg)
+        end
+      in
+      copy (Fbuf.vaddr l.Msg.fbuf + l.Msg.off) l.Msg.len)
+    (Msg.leaves msg);
+  out
+
+let scatter_at t (fb : Fbuf.t) ~off data =
+  let ps = t.m.Machine.cost.Cost_model.page_size in
+  let len = Bytes.length data in
+  let pos = ref 0 in
+  let vaddr = ref (Fbuf.vaddr fb + off) in
+  while !pos < len do
+    let off = !vaddr mod ps in
+    let seg = min (len - !pos) (ps - off) in
+    let vpn = !vaddr / ps in
+    let frame =
+      match Vm_map.frame_of t.kernel.Pd.map ~vpn with
+      | Some f -> f
+      | None ->
+          (* Reclaimed cached buffer: the driver re-pins a frame when it
+             hands the buffer to the adapter. *)
+          let f = Phys_mem.alloc t.m.pmem in
+          Vm_map.map_frame t.kernel.Pd.map ~vpn ~frame:f
+            ~prot:Prot.Read_write ~eager:true;
+          f
+    in
+    Bytes.blit data !pos (Phys_mem.data t.m.pmem frame) off seg;
+    pos := !pos + seg;
+    vaddr := !vaddr + seg
+  done
+
+let dma_scatter t fb data = scatter_at t fb ~off:0 data
+
+let deliver t ~vci data =
+  let now = Des.now t.des in
+  Machine.elapse_to t.m now;
+  Machine.charge t.m t.m.cost.Cost_model.interrupt;
+  Machine.charge t.m t.m.cost.Cost_model.driver_op;
+  Stats.incr t.m.stats "osiris.rx_pdu";
+  t.pdus_received <- t.pdus_received + 1;
+  let len = Bytes.length data in
+  let ps = t.m.Machine.cost.Cost_model.page_size in
+  let npages = max 1 ((len + ps - 1) / ps) in
+  let cached_path = Hashtbl.mem t.vci_allocs vci in
+  if cached_path then Hashtbl.replace t.vci_last_use vci now;
+  let alloc =
+    match Hashtbl.find_opt t.vci_allocs vci with
+    | Some a -> a
+    | None ->
+        t.uncached_rx <- t.uncached_rx + 1;
+        Stats.incr t.m.stats "osiris.rx_uncached";
+        t.uncached
+  in
+  let fb = Allocator.alloc alloc ~npages in
+  (* Without hardware demultiplexing the adapter could only DMA into a
+     fixed driver pool; choosing the per-path fbuf happens in software,
+     after the fact, at the cost of one full copy of the PDU. *)
+  if not t.hw_demux then begin
+    t.sw_demux_copies <- t.sw_demux_copies + 1;
+    Stats.incr t.m.stats "osiris.sw_demux_copy";
+    Machine.charge t.m
+      (float_of_int len *. t.m.cost.Cost_model.copy_per_byte)
+  end;
+  dma_scatter t fb data;
+  (* Security: an uncached buffer is built from frames recycled from
+     arbitrary domains, so the slack beyond the PDU must be cleared before
+     the buffer is exposed to the receiving path. Cached buffers recycle
+     within one I/O data path and never pay this. *)
+  let slack = (npages * ps) - len in
+  if (not cached_path) && slack > 0 then begin
+    Machine.charge t.m
+      (float_of_int slack /. float_of_int ps
+      *. t.m.cost.Cost_model.page_zero);
+    Stats.incr t.m.stats "osiris.slack_zeroed";
+    (* The clearing loop itself is charged above at the bzero rate; write
+       the zeros through the frames directly. *)
+    scatter_at t fb ~off:len (Bytes.make slack '\000')
+  end;
+  let msg = Msg.of_fbuf fb ~off:0 ~len in
+  match t.rx_handler with
+  | Some h -> h ~vci msg
+  | None -> Msg.free_all msg ~dom:t.kernel
+
+let send_pdu t ~vci msg =
+  let peer =
+    match t.peer with
+    | Some p -> p
+    | None -> invalid_arg "Osiris.send_pdu: adapter is not connected"
+  in
+  Machine.charge t.m t.m.cost.Cost_model.driver_op;
+  Stats.incr t.m.stats "osiris.tx_pdu";
+  let data = dma_gather t msg in
+  let cells =
+    (Bytes.length data + pdu_overhead + t.m.cost.Cost_model.cell_payload - 1)
+    / t.m.cost.Cost_model.cell_payload
+  in
+  t.cells_sent <- t.cells_sent + cells;
+  let tx_time = float_of_int cells *. Cost_model.cell_time t.m.cost in
+  let start = Float.max (Machine.now t.m) t.link_free_at in
+  let finish = start +. tx_time in
+  t.link_free_at <- finish;
+  let propagation = 1.0 in
+  if t.loss_rate > 0.0 && Rng.float t.m.rng 1.0 < t.loss_rate then begin
+    (* The cells occupy the wire but the frame is lost (CRC failure at the
+       receiving adapter); nothing is delivered. *)
+    t.pdus_dropped <- t.pdus_dropped + 1;
+    Stats.incr t.m.stats "osiris.pdu_dropped"
+  end
+  else
+    Des.schedule t.des (finish +. propagation) (fun () ->
+        deliver peer ~vci data)

@@ -1,0 +1,1 @@
+lib/protocols/header.ml: Allocator Bytes Char Fbuf Fbuf_api Fbufs Fbufs_msg List Printf Transfer

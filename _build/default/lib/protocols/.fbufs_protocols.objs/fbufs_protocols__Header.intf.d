@@ -1,0 +1,1 @@
+lib/protocols/header.mli: Fbufs Fbufs_msg Fbufs_vm

@@ -1,0 +1,1 @@
+lib/protocols/ip.ml: Bytes Cost_model Fbufs Fbufs_msg Fbufs_sim Fbufs_vm Fbufs_xkernel Hashtbl Header List Machine Stats

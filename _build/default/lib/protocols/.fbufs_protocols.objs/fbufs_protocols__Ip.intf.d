@@ -1,0 +1,1 @@
+lib/protocols/ip.mli: Fbufs Fbufs_vm Fbufs_xkernel

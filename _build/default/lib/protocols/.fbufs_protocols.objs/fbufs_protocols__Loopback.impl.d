@@ -1,0 +1,1 @@
+lib/protocols/loopback.ml: Fbufs_xkernel

@@ -1,0 +1,1 @@
+lib/protocols/loopback.mli: Fbufs_vm Fbufs_xkernel

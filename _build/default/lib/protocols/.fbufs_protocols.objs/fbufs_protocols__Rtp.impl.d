@@ -1,0 +1,1 @@
+lib/protocols/rtp.ml: Bytes Char Des Fbufs Fbufs_msg Fbufs_sim Fbufs_vm Fbufs_xkernel Hashtbl Header Machine Queue Stats

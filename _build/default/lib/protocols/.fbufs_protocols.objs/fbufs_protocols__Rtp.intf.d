@@ -1,0 +1,1 @@
+lib/protocols/rtp.mli: Fbufs Fbufs_sim Fbufs_vm Fbufs_xkernel

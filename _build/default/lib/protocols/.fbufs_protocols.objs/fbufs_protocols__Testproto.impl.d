@@ -1,0 +1,1 @@
+lib/protocols/testproto.ml: Allocator Bytes Fbuf_api Fbufs Fbufs_msg Fbufs_sim Fbufs_xkernel Region String

@@ -1,0 +1,1 @@
+lib/protocols/testproto.mli: Fbufs Fbufs_msg Fbufs_vm Fbufs_xkernel

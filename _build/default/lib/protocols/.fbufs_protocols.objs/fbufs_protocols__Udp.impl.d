@@ -1,0 +1,1 @@
+lib/protocols/udp.ml: Bytes Fbufs Fbufs_msg Fbufs_sim Fbufs_vm Fbufs_xkernel Hashtbl Header Machine Stats

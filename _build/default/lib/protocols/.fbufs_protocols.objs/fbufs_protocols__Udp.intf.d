@@ -1,0 +1,1 @@
+lib/protocols/udp.mli: Fbufs Fbufs_vm Fbufs_xkernel

@@ -1,0 +1,20 @@
+type t = {
+  proto : Fbufs_xkernel.Protocol.t;
+  mutable up : Fbufs_xkernel.Protocol.t option;
+  mutable pdus : int;
+}
+
+let proto t = t.proto
+let set_up t p = t.up <- Some p
+let pdus t = t.pdus
+
+let create ~dom () =
+  let proto = Fbufs_xkernel.Protocol.create ~name:"loopback" ~dom () in
+  let t = { proto; up = None; pdus = 0 } in
+  proto.Fbufs_xkernel.Protocol.push <-
+    (fun msg ->
+      t.pdus <- t.pdus + 1;
+      match t.up with
+      | Some up -> up.Fbufs_xkernel.Protocol.pop msg
+      | None -> failwith "Loopback: no upper protocol wired");
+  t

@@ -1,0 +1,16 @@
+(** Local loopback pseudo-driver.
+
+    Configured below IP, it turns every pushed PDU around and delivers it
+    back up the receive side — "the use of a loopback protocol rather than
+    a real device driver simulates an infinitely fast network", so it
+    charges no transmission time and no driver cost. *)
+
+type t
+
+val create : dom:Fbufs_vm.Pd.t -> unit -> t
+
+val proto : t -> Fbufs_xkernel.Protocol.t
+val set_up : t -> Fbufs_xkernel.Protocol.t -> unit
+(** The receive-side protocol (typically IP's pop). *)
+
+val pdus : t -> int

@@ -1,0 +1,48 @@
+open Fbufs
+module Msg = Fbufs_msg.Msg
+
+let make_message ~alloc ~as_ ~bytes ?fill () =
+  if bytes <= 0 then invalid_arg "Testproto.make_message: bytes must be > 0";
+  let machine = Region.machine (Allocator.region alloc) in
+  let ps = machine.Fbufs_sim.Machine.cost.Fbufs_sim.Cost_model.page_size in
+  let npages = (bytes + ps - 1) / ps in
+  let fb = Allocator.alloc alloc ~npages in
+  (match fill with
+  | None -> Fbuf_api.touch_write fb ~as_
+  | Some s ->
+      let b = Bytes.create bytes in
+      for i = 0 to bytes - 1 do
+        Bytes.set b i s.[i mod String.length s]
+      done;
+      Fbuf_api.write_bytes fb ~as_ ~off:0 b);
+  Msg.of_fbuf fb ~off:0 ~len:bytes
+
+type sink = {
+  proto : Fbufs_xkernel.Protocol.t;
+  mutable received : int;
+  mutable received_bytes : int;
+  mutable last : Msg.t option;
+}
+
+let sink ~dom ?consume ?free () =
+  let proto = Fbufs_xkernel.Protocol.create ~name:"sink" ~dom () in
+  let t = { proto; received = 0; received_bytes = 0; last = None } in
+  let consume =
+    match consume with Some f -> f | None -> fun m -> Msg.touch_read m ~as_:dom
+  in
+  let free =
+    match free with Some f -> f | None -> fun m -> Msg.free_all m ~dom
+  in
+  proto.Fbufs_xkernel.Protocol.pop <-
+    (fun msg ->
+      t.received <- t.received + 1;
+      t.received_bytes <- t.received_bytes + Msg.length msg;
+      t.last <- Some msg;
+      consume msg;
+      free msg);
+  t
+
+let sink_proto t = t.proto
+let received t = t.received
+let received_bytes t = t.received_bytes
+let last_message t = t.last

@@ -1,0 +1,32 @@
+(** Test protocols: message source and dummy sink, as used by every
+    experiment in the paper's section 4. *)
+
+val make_message :
+  alloc:Fbufs.Allocator.t ->
+  as_:Fbufs_vm.Pd.t ->
+  bytes:int ->
+  ?fill:string ->
+  unit ->
+  Fbufs_msg.Msg.t
+(** Allocate fbufs for a [bytes]-long message and initialize it: with
+    [fill] absent, write one word in each page (the paper's originator
+    workload); with [fill], tile the string across the whole payload (used
+    by integrity tests). *)
+
+type sink
+
+val sink :
+  dom:Fbufs_vm.Pd.t ->
+  ?consume:(Fbufs_msg.Msg.t -> unit) ->
+  ?free:(Fbufs_msg.Msg.t -> unit) ->
+  unit ->
+  sink
+(** The paper's dummy protocol: on pop it touches one word in each page of
+    the message and deallocates it. [consume] replaces the default
+    touch-read; [free] replaces the default [Msg.free_all] (e.g. with
+    {!Fbufs_ipc.Ipc.free_deferred} when the buffers belong to a peer). *)
+
+val sink_proto : sink -> Fbufs_xkernel.Protocol.t
+val received : sink -> int
+val received_bytes : sink -> int
+val last_message : sink -> Fbufs_msg.Msg.t option

@@ -1,0 +1,1 @@
+lib/sim/machine.ml: Clock Cost_model Float Phys_mem Rng Stats Tlb

@@ -1,0 +1,1 @@
+lib/sim/machine.mli: Clock Cost_model Phys_mem Rng Stats Tlb

@@ -1,0 +1,1 @@
+lib/sim/phys_mem.ml: Array Bytes List

@@ -1,0 +1,13 @@
+type t = { mutable now : float }
+
+let create () = { now = 0.0 }
+
+let now c = c.now
+
+let advance c us =
+  if us < 0.0 then invalid_arg "Clock.advance: negative increment";
+  c.now <- c.now +. us
+
+let advance_to c t = if t > c.now then c.now <- t
+
+let reset c = c.now <- 0.0

@@ -1,0 +1,25 @@
+(** Simulated time source.
+
+    All simulated time in this code base is expressed in microseconds as a
+    [float]. Each simulated host owns one clock; device models advance it via
+    {!advance_to} when an event is delivered, CPU work advances it via
+    {!advance}. *)
+
+type t
+
+val create : unit -> t
+(** A clock starting at time 0. *)
+
+val now : t -> float
+(** Current simulated time, microseconds. *)
+
+val advance : t -> float -> unit
+(** [advance c us] moves the clock forward by [us] microseconds. Negative
+    increments are a programming error and raise [Invalid_argument]. *)
+
+val advance_to : t -> float -> unit
+(** [advance_to c t] sets the clock to [max (now c) t]; used when an event
+    with absolute timestamp [t] is delivered to a host whose CPU was idle. *)
+
+val reset : t -> unit
+(** Rewind to time 0 (used between experiment runs). *)

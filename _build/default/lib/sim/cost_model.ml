@@ -1,0 +1,122 @@
+type t = {
+  cpu_mhz : float;
+  page_size : int;
+  word_size : int;
+  word_touch : float;
+  cache_miss : float;
+  tlb_refill : float;
+  tlb_mod_fault : float;
+  copy_per_byte : float;
+  checksum_per_byte : float;
+  page_zero : float;
+  vm_page_op : float;
+  pmap_enter : float;
+  pmap_remove : float;
+  pmap_protect : float;
+  tlb_shootdown : float;
+  vm_range_op : float;
+  fault_trap : float;
+  remap_page_overhead : float;
+  page_alloc : float;
+  page_free : float;
+  ipc_call : float;
+  ipc_reply : float;
+  ipc_per_fbuf : float;
+  ipc_tlb_footprint : int;
+  urpc_call : float;
+  urpc_reply : float;
+  urpc_tlb_footprint : int;
+  proto_op : float;
+  frag_op : float;
+  driver_op : float;
+  interrupt : float;
+  link_mbps : float;
+  cell_payload : int;
+  cell_total : int;
+  dma_startup : float;
+  dma_mbps : float;
+  bus_contention : float;
+}
+
+(* Calibration notes (see DESIGN.md section 5).  The anchors from the paper:
+   - cached/volatile fbufs cost 3 us/page, all of it TLB refills and cache
+     fills in the two domains that touch one word per page;
+   - volatile (uncached) fbufs cost 21 us/page: frame alloc + two pmap
+     enters + two removes + shootdowns + frame free on top of the 3 us;
+   - cached (non-volatile) fbufs cost 29 us/page: write-protect on send,
+     write-restore on free, plus the TLB modification fault the originator
+     takes when it next writes the reused page;
+   - zeroing a page takes 57 us;
+   - Mach IPC round trip on this machine is ~100 us. *)
+let decstation_5000_200 =
+  {
+    cpu_mhz = 25.0;
+    page_size = 4096;
+    word_size = 4;
+    word_touch = 0.04;
+    cache_miss = 0.26;
+    tlb_refill = 1.2;
+    tlb_mod_fault = 4.0;
+    copy_per_byte = 0.025;
+    checksum_per_byte = 0.020;
+    page_zero = 57.0;
+    vm_page_op = 1.0;
+    pmap_enter = 2.0;
+    pmap_remove = 2.0;
+    pmap_protect = 11.5;
+    tlb_shootdown = 1.2;
+    vm_range_op = 9.0;
+    fault_trap = 3.6;
+    remap_page_overhead = 6.0;
+    page_alloc = 0.7;
+    page_free = 0.5;
+    ipc_call = 55.0;
+    ipc_reply = 45.0;
+    ipc_per_fbuf = 4.0;
+    ipc_tlb_footprint = 24;
+    urpc_call = 14.0;
+    urpc_reply = 12.0;
+    urpc_tlb_footprint = 6;
+    proto_op = 25.0;
+    frag_op = 15.0;
+    driver_op = 260.0;
+    interrupt = 60.0;
+    link_mbps = 622.0;
+    cell_payload = 48;
+    cell_total = 53;
+    dma_startup = 0.565;
+    dma_mbps = 800.0;
+    bus_contention = 0.288;
+  }
+
+let page_words c = c.page_size / c.word_size
+
+let cell_time c =
+  let wire = float_of_int c.cell_total *. 8.0 /. c.link_mbps in
+  let dma =
+    c.dma_startup +. (float_of_int c.cell_payload *. 8.0 /. c.dma_mbps)
+  in
+  let dma = dma *. (1.0 +. c.bus_contention) in
+  Float.max wire dma
+
+let effective_net_mbps c =
+  float_of_int c.cell_payload *. 8.0 /. cell_time c
+
+let pp ppf c =
+  Format.fprintf ppf
+    "@[<v>cpu %.0f MHz, page %d B, word %d B@,\
+     access: touch %.2f, miss %.2f, refill %.2f, mod-fault %.2f@,\
+     copy %.4f us/B, csum %.4f us/B, zero %.1f us/page@,\
+     vm: page-op %.2f, enter %.2f, remove %.2f, protect %.2f, shootdown %.2f@,\
+     vm: range-op %.2f, fault %.2f, palloc %.2f, pfree %.2f@,\
+     ipc: call %.1f, reply %.1f, per-fbuf %.1f@,\
+     proto %.1f, frag %.1f, driver %.1f, intr %.1f@,\
+     link %.0f Mb/s, cell %d/%d, dma %.3f us + %.0f Mb/s, contention %.3f@,\
+     => effective net %.1f Mb/s@]"
+    c.cpu_mhz c.page_size c.word_size c.word_touch c.cache_miss c.tlb_refill
+    c.tlb_mod_fault c.copy_per_byte c.checksum_per_byte c.page_zero
+    c.vm_page_op c.pmap_enter c.pmap_remove c.pmap_protect c.tlb_shootdown
+    c.vm_range_op c.fault_trap c.page_alloc c.page_free c.ipc_call
+    c.ipc_reply c.ipc_per_fbuf c.proto_op c.frag_op c.driver_op c.interrupt
+    c.link_mbps c.cell_payload c.cell_total c.dma_startup c.dma_mbps
+    c.bus_contention (effective_net_mbps c)

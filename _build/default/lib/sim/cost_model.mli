@@ -1,0 +1,93 @@
+(** Calibrated cost parameters for the simulated machine.
+
+    Every operation the simulated operating system performs charges simulated
+    time taken from one of these fields. The default instance
+    {!decstation_5000_200} is calibrated against the measurement anchors the
+    paper reports for a DecStation 5000/200 (25 MHz MIPS R3000): 4 KB pages,
+    57 us to zero a page, software-refilled TLB, Mach 3.0 IPC latency, and
+    the Osiris/TurboChannel bandwidth caps (516 / 367 / 285 Mb/s).
+
+    All times are in microseconds unless stated otherwise. *)
+
+type t = {
+  cpu_mhz : float;  (** processor clock, informational *)
+  page_size : int;  (** bytes per VM page *)
+  word_size : int;  (** bytes per machine word *)
+  (* -- memory access ------------------------------------------------- *)
+  word_touch : float;  (** cache-hit load or store of one word *)
+  cache_miss : float;  (** stall for one cache-line fill *)
+  tlb_refill : float;  (** software TLB miss handler (R3000 style) *)
+  tlb_mod_fault : float;
+      (** TLB modification exception: first write through a clean/read-only
+          cached translation that the OS upgrades in place *)
+  copy_per_byte : float;  (** bcopy throughput, us per byte *)
+  checksum_per_byte : float;  (** 16-bit ones-complement checksum, us/byte *)
+  page_zero : float;  (** fill one page with zeros (security) *)
+  (* -- virtual memory ------------------------------------------------ *)
+  vm_page_op : float;
+      (** machine-independent (top-level map) share of changing one page's
+          mapping state; charged in addition to the pmap cost below *)
+  pmap_enter : float;  (** install one physical page-table entry *)
+  pmap_remove : float;  (** invalidate one physical page-table entry *)
+  pmap_protect : float;
+      (** change protection of one live entry; costlier than enter/remove
+          because the page is in active use (locks, consistency) *)
+  tlb_shootdown : float;  (** invalidate one TLB entry after a pmap change *)
+  vm_range_op : float;
+      (** per-call overhead of a map-level range operation (find/reserve or
+          release a virtual address range, clip map entries, take locks) *)
+  fault_trap : float;  (** page-fault trap entry + dispatch + return *)
+  remap_page_overhead : float;
+      (** extra per-page cost of each *generic* remap-facility map operation
+          (entry clipping, validation, locking in arbitrary maps) that the
+          fbuf region's specialized fixed-address path avoids; calibrated so
+          the DASH-style facility reproduces 22 us/page ping-pong and
+          42-99 us/page realistic (section 2.2.1) *)
+  page_alloc : float;  (** take one frame from the free-page pool *)
+  page_free : float;  (** return one frame to the free-page pool *)
+  (* -- IPC ------------------------------------------------------------ *)
+  ipc_call : float;  (** one-way cross-domain control transfer (Mach RPC) *)
+  ipc_reply : float;  (** return control transfer *)
+  ipc_per_fbuf : float;  (** marshal one buffer descriptor into a message *)
+  ipc_tlb_footprint : int;
+      (** number of TLB entries the kernel IPC path displaces per crossing;
+          this is why the paper's cached/volatile transfers still pay one
+          software refill per page per domain instead of hitting a warm TLB *)
+  urpc_call : float;
+      (** one-way control transfer of a user-level RPC facility (URPC-style
+          shared-memory queues; the paper notes fbufs complement such
+          facilities because the common-case transfer needs no kernel) *)
+  urpc_reply : float;
+  urpc_tlb_footprint : int;  (** far smaller: no kernel path executed *)
+  (* -- protocol & driver processing ----------------------------------- *)
+  proto_op : float;  (** fixed per-PDU cost of one protocol layer *)
+  frag_op : float;  (** fragmenting or reassembling one fragment *)
+  driver_op : float;  (** per-PDU device-driver processing *)
+  interrupt : float;  (** interrupt dispatch overhead *)
+  (* -- network (Osiris ATM on TurboChannel) ---------------------------- *)
+  link_mbps : float;  (** raw link bandwidth, megabits/s (622 for Osiris) *)
+  cell_payload : int;  (** ATM cell payload bytes (48) *)
+  cell_total : int;  (** ATM cell total bytes on the wire (53) *)
+  dma_startup : float;  (** DMA start-up latency per transfer (per cell) *)
+  dma_mbps : float;  (** peak TurboChannel DMA bandwidth, megabits/s *)
+  bus_contention : float;
+      (** fractional slowdown of DMA caused by concurrent CPU/memory
+          traffic; 0.0 means no contention *)
+}
+
+val decstation_5000_200 : t
+(** The paper's hardware platform. *)
+
+val page_words : t -> int
+(** Words per page. *)
+
+val cell_time : t -> float
+(** Effective time to move one ATM cell end to end, including DMA start-up
+    and bus contention; the min of wire rate and DMA rate. Multiplying out,
+    the defaults yield the paper's three caps: 516 Mb/s net link rate,
+    367 Mb/s DMA-bound rate, 285 Mb/s under bus contention. *)
+
+val effective_net_mbps : t -> float
+(** Goodput ceiling implied by {!cell_time}: payload bits per cell time. *)
+
+val pp : Format.formatter -> t -> unit

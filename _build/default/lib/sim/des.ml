@@ -1,0 +1,93 @@
+type event = { time : float; seq : int; fn : unit -> unit }
+
+module Heap = struct
+  (* Binary min-heap on (time, seq). *)
+  type t = { mutable arr : event array; mutable size : int }
+
+  let dummy = { time = 0.0; seq = 0; fn = ignore }
+
+  let create () = { arr = Array.make 64 dummy; size = 0 }
+
+  let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+  let push h e =
+    if h.size = Array.length h.arr then begin
+      let bigger = Array.make (2 * h.size) dummy in
+      Array.blit h.arr 0 bigger 0 h.size;
+      h.arr <- bigger
+    end;
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    h.arr.(!i) <- e;
+    (* sift up *)
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let parent = (!i - 1) / 2 in
+      if less h.arr.(!i) h.arr.(parent) then begin
+        let tmp = h.arr.(parent) in
+        h.arr.(parent) <- h.arr.(!i);
+        h.arr.(!i) <- tmp;
+        i := parent
+      end
+      else continue := false
+    done
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.arr.(0) in
+      h.size <- h.size - 1;
+      h.arr.(0) <- h.arr.(h.size);
+      h.arr.(h.size) <- dummy;
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && less h.arr.(l) h.arr.(!smallest) then smallest := l;
+        if r < h.size && less h.arr.(r) h.arr.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = h.arr.(!smallest) in
+          h.arr.(!smallest) <- h.arr.(!i);
+          h.arr.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done;
+      Some top
+    end
+end
+
+type t = { heap : Heap.t; mutable now : float; mutable next_seq : int }
+
+let create () = { heap = Heap.create (); now = 0.0; next_seq = 0 }
+
+let now t = t.now
+
+let schedule t time fn =
+  if time < t.now then
+    invalid_arg
+      (Printf.sprintf "Des.schedule: time %.3f is before now %.3f" time t.now);
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Heap.push t.heap { time; seq; fn }
+
+let schedule_after t delta fn = schedule t (t.now +. delta) fn
+
+let pending t = t.heap.Heap.size
+
+let step t =
+  match Heap.pop t.heap with
+  | None -> false
+  | Some e ->
+      t.now <- e.time;
+      e.fn ();
+      true
+
+let run ?(limit = 10_000_000) t =
+  let rec loop n =
+    if n > limit then failwith "Des.run: event limit exceeded"
+    else if step t then loop (n + 1)
+  in
+  loop 0

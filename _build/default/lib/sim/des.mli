@@ -1,0 +1,31 @@
+(** Discrete-event scheduler for multi-host experiments.
+
+    The end-to-end experiments (Figures 5 and 6) involve two hosts whose
+    CPUs run concurrently with the network link. Each host keeps its own
+    {!Clock.t}; the scheduler orders events on a global virtual timeline and
+    delivers them in timestamp order (FIFO among equal timestamps). A handler
+    typically calls [Machine.elapse_to] to bring its host's clock up to the
+    event time before doing charged work. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Timestamp of the most recently dispatched event (0 before any). *)
+
+val schedule : t -> float -> (unit -> unit) -> unit
+(** [schedule s time fn] enqueues [fn] for absolute [time]. Scheduling in
+    the past (before {!now}) raises [Invalid_argument]. *)
+
+val schedule_after : t -> float -> (unit -> unit) -> unit
+(** Relative form of {!schedule}. *)
+
+val pending : t -> int
+
+val run : ?limit:int -> t -> unit
+(** Dispatch events in order until none remain. [limit] (default 10 million)
+    bounds runaway simulations; exceeding it raises [Failure]. *)
+
+val step : t -> bool
+(** Dispatch one event; [false] when the queue is empty. *)

@@ -1,0 +1,73 @@
+type t = {
+  name : string;
+  clock : Clock.t;
+  cost : Cost_model.t;
+  pmem : Phys_mem.t;
+  tlb : Tlb.t;
+  stats : Stats.t;
+  rng : Rng.t;
+  mutable busy_us : float;
+  mutable next_asid : int;
+  mutable next_id : int;
+}
+
+let create ?(name = "host") ?(cost = Cost_model.decstation_5000_200)
+    ?(nframes = 4096) ?(tlb_entries = 64) ?(seed = 42) () =
+  let rng = Rng.create seed in
+  {
+    name;
+    clock = Clock.create ();
+    cost;
+    pmem = Phys_mem.create ~page_size:cost.Cost_model.page_size ~nframes;
+    tlb = Tlb.create ~entries:tlb_entries (Rng.split rng);
+    stats = Stats.create ();
+    rng;
+    busy_us = 0.0;
+    next_asid = 1;
+    next_id = 1;
+  }
+
+let charge m us =
+  Clock.advance m.clock us;
+  m.busy_us <- m.busy_us +. us
+
+let charge_n m n us = charge m (float_of_int n *. us)
+
+let elapse_to m t = Clock.advance_to m.clock t
+
+let now m = Clock.now m.clock
+
+let fresh_asid m =
+  let a = m.next_asid in
+  m.next_asid <- a + 1;
+  a
+
+let fresh_id m =
+  let i = m.next_id in
+  m.next_id <- i + 1;
+  i
+
+let cpu_load m ~since =
+  let span = now m -. since in
+  if span <= 0.0 then 0.0 else Float.min 1.0 (m.busy_us /. span)
+
+let checkpoint m = (now m, m.busy_us)
+
+let load_since m (t0, busy0) =
+  let span = now m -. t0 in
+  if span <= 0.0 then 0.0 else Float.min 1.0 ((m.busy_us -. busy0) /. span)
+
+(* The kernel's IPC path occupies a distinguished address space (ASID 0)
+   and touches a working set of code and data pages on every crossing. *)
+let domain_crossing_tlb_pressure ?entries m =
+  let n =
+    match entries with
+    | Some n -> n
+    | None -> m.cost.Cost_model.ipc_tlb_footprint
+  in
+  for i = 0 to n - 1 do
+    Tlb.insert m.tlb ~asid:0 ~vpn:(0x70000 + (i * 7) + Rng.int m.rng 5)
+      ~writable:false
+  done
+
+let reset_stats m = Stats.reset m.stats

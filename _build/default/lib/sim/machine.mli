@@ -1,0 +1,65 @@
+(** A simulated host: clock, cost model, physical memory, TLB, statistics.
+
+    Every other subsystem (VM, fbufs, IPC, protocols, drivers) operates on a
+    [Machine.t] and accounts simulated time through {!charge} (CPU work) or
+    {!elapse} (idle waiting, e.g. for the network), which keeps CPU-load
+    accounting honest for the paper's section-4 load measurements. *)
+
+type t = {
+  name : string;
+  clock : Clock.t;
+  cost : Cost_model.t;
+  pmem : Phys_mem.t;
+  tlb : Tlb.t;
+  stats : Stats.t;
+  rng : Rng.t;
+  mutable busy_us : float;
+  mutable next_asid : int;
+  mutable next_id : int;
+}
+
+val create :
+  ?name:string ->
+  ?cost:Cost_model.t ->
+  ?nframes:int ->
+  ?tlb_entries:int ->
+  ?seed:int ->
+  unit ->
+  t
+(** Defaults: DecStation 5000/200 cost model, 4096 frames (16 MB), 64 TLB
+    entries, seed 42. *)
+
+val charge : t -> float -> unit
+(** Consume [us] microseconds of CPU time: advances the clock and the busy
+    accumulator. *)
+
+val charge_n : t -> int -> float -> unit
+(** [charge_n m n us] charges [n] repetitions of a per-item cost. *)
+
+val elapse_to : t -> float -> unit
+(** Wait (idle) until an absolute simulated time; no busy time accrues. *)
+
+val now : t -> float
+
+val fresh_asid : t -> int
+val fresh_id : t -> int
+
+val cpu_load : t -> since:float -> float
+(** Fraction of wall (simulated) time the CPU was busy since the given
+    timestamp pair captured with {!checkpoint}. *)
+
+val checkpoint : t -> float * float
+(** [(now, busy)] snapshot, for differential load measurement with
+    {!load_since}. *)
+
+val load_since : t -> float * float -> float
+(** CPU load between a {!checkpoint} and now, in [0, 1]. *)
+
+val domain_crossing_tlb_pressure : ?entries:int -> t -> unit
+(** Displace [entries] (default [ipc_tlb_footprint]) TLB entries with
+    kernel-path translations, modelling the cache/TLB pollution of one IPC
+    crossing. Costless in time (the control-transfer latency is charged
+    separately by the IPC layer); its effect is the refill work later
+    accesses must redo. *)
+
+val reset_stats : t -> unit

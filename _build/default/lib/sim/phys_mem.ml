@@ -1,0 +1,75 @@
+type frame_id = int
+
+(* Frame payloads are materialized on first allocation so that building a
+   large simulated memory is cheap; a recycled frame keeps its old bytes
+   (no implicit zeroing — that cost is explicit and charged). *)
+type frame = { mutable data : bytes; mutable refcount : int }
+
+type t = {
+  page_size : int;
+  frames : frame array;
+  mutable free : frame_id list;
+  mutable nfree : int;
+}
+
+exception Out_of_memory
+
+let create ~page_size ~nframes =
+  let frames =
+    Array.init nframes (fun _ -> { data = Bytes.empty; refcount = 0 })
+  in
+  let free = List.init nframes (fun i -> nframes - 1 - i) in
+  { page_size; frames; free; nfree = nframes }
+
+let page_size t = t.page_size
+let total_frames t = Array.length t.frames
+let free_frames t = t.nfree
+
+let alloc t =
+  match t.free with
+  | [] -> raise Out_of_memory
+  | id :: rest ->
+      t.free <- rest;
+      t.nfree <- t.nfree - 1;
+      let f = t.frames.(id) in
+      assert (f.refcount = 0);
+      if Bytes.length f.data = 0 then f.data <- Bytes.create t.page_size;
+      f.refcount <- 1;
+      id
+
+let check_live t id name =
+  if id < 0 || id >= Array.length t.frames then
+    invalid_arg (name ^ ": bad frame id");
+  if t.frames.(id).refcount = 0 then invalid_arg (name ^ ": frame is free")
+
+let incref t id =
+  check_live t id "Phys_mem.incref";
+  let f = t.frames.(id) in
+  f.refcount <- f.refcount + 1
+
+let decref t id =
+  check_live t id "Phys_mem.decref";
+  let f = t.frames.(id) in
+  f.refcount <- f.refcount - 1;
+  if f.refcount = 0 then begin
+    t.free <- id :: t.free;
+    t.nfree <- t.nfree + 1
+  end
+
+let refcount t id =
+  if id < 0 || id >= Array.length t.frames then
+    invalid_arg "Phys_mem.refcount: bad frame id";
+  t.frames.(id).refcount
+
+let zero t id =
+  check_live t id "Phys_mem.zero";
+  Bytes.fill t.frames.(id).data 0 t.page_size '\000'
+
+let data t id =
+  check_live t id "Phys_mem.data";
+  t.frames.(id).data
+
+let copy_frame t ~src ~dst =
+  check_live t src "Phys_mem.copy_frame";
+  check_live t dst "Phys_mem.copy_frame";
+  Bytes.blit t.frames.(src).data 0 t.frames.(dst).data 0 t.page_size

@@ -1,0 +1,43 @@
+(** Simulated physical memory: a pool of page frames with real byte payloads.
+
+    Frames carry actual [bytes] so that data written in one protection domain
+    and read in another is checked for integrity by the tests — a transfer
+    mechanism that maps the wrong frame produces wrong bytes, not just wrong
+    timings. Frames are reference counted because copy-on-write and fbuf
+    sharing both allow one frame to back mappings in several domains. *)
+
+type frame_id = int
+
+type t
+
+val create : page_size:int -> nframes:int -> t
+(** A pool of [nframes] frames of [page_size] bytes, all free. *)
+
+val page_size : t -> int
+val total_frames : t -> int
+val free_frames : t -> int
+
+exception Out_of_memory
+
+val alloc : t -> frame_id
+(** Take a frame from the free pool with refcount 1. The frame's contents
+    are whatever the previous user left there (zeroing is an explicit,
+    separately charged operation — that is the point of the paper's
+    security discussion). Raises {!Out_of_memory} when exhausted. *)
+
+val incref : t -> frame_id -> unit
+
+val decref : t -> frame_id -> unit
+(** Drop one reference; the frame returns to the free pool when the count
+    reaches zero. *)
+
+val refcount : t -> frame_id -> int
+
+val zero : t -> frame_id -> unit
+(** Fill the frame with zero bytes (mechanics only; charge separately). *)
+
+val data : t -> frame_id -> bytes
+(** The frame's backing store. Raises [Invalid_argument] for a free frame. *)
+
+val copy_frame : t -> src:frame_id -> dst:frame_id -> unit
+(** Copy full page contents from [src] to [dst]. *)

@@ -1,0 +1,27 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    The simulator must be reproducible run to run, so all randomness (TLB
+    replacement, workload generation) flows through explicitly seeded
+    generators rather than [Random]. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator; equal seeds yield equal streams. *)
+
+val next : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val bytes : t -> int -> bytes
+(** [bytes t n] is [n] pseudo-random bytes. *)
+
+val split : t -> t
+(** Derive an independent generator (for parallel subsystems). *)

@@ -1,0 +1,39 @@
+type t = (string, float ref) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+
+let reset t = Hashtbl.reset t
+
+let cell t name =
+  match Hashtbl.find_opt t name with
+  | Some r -> r
+  | None ->
+      let r = ref 0.0 in
+      Hashtbl.add t name r;
+      r
+
+let add_float t name v =
+  let r = cell t name in
+  r := !r +. v
+
+let add t name n = add_float t name (float_of_int n)
+
+let incr t name = add t name 1
+
+let get_float t name =
+  match Hashtbl.find_opt t name with Some r -> !r | None -> 0.0
+
+let get t name = int_of_float (get_float t name)
+
+let to_list t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (k, v) ->
+      if Float.is_integer v then Format.fprintf ppf "%-32s %12.0f@," k v
+      else Format.fprintf ppf "%-32s %12.2f@," k v)
+    (to_list t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,26 @@
+(** Named event counters and accumulators for a simulated machine.
+
+    Subsystems record what happened (TLB misses, pmap updates, pages zeroed,
+    faults, IPC calls, ...) so experiments and tests can assert on mechanism
+    behaviour rather than only on elapsed time. *)
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+
+val incr : t -> string -> unit
+(** Add one to a counter, creating it at zero if needed. *)
+
+val add : t -> string -> int -> unit
+val add_float : t -> string -> float -> unit
+
+val get : t -> string -> int
+(** Current value of a counter; 0 when never touched. *)
+
+val get_float : t -> string -> float
+
+val to_list : t -> (string * float) list
+(** All accumulators, sorted by name. Integer counters appear as floats. *)
+
+val pp : Format.formatter -> t -> unit

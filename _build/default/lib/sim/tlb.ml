@@ -1,0 +1,68 @@
+type entry = {
+  mutable valid : bool;
+  mutable asid : int;
+  mutable vpn : int;
+  mutable writable : bool;
+}
+
+type t = { slots : entry array; rng : Rng.t }
+
+type probe_result = Hit | Hit_readonly | Miss
+
+let create ?(entries = 64) rng =
+  if entries <= 0 then invalid_arg "Tlb.create: entries must be positive";
+  let slots =
+    Array.init entries (fun _ ->
+        { valid = false; asid = 0; vpn = 0; writable = false })
+  in
+  { slots; rng }
+
+let entries t = Array.length t.slots
+
+let find t ~asid ~vpn =
+  let n = Array.length t.slots in
+  let rec loop i =
+    if i >= n then None
+    else
+      let e = t.slots.(i) in
+      if e.valid && e.asid = asid && e.vpn = vpn then Some e else loop (i + 1)
+  in
+  loop 0
+
+let probe t ~asid ~vpn ~write =
+  match find t ~asid ~vpn with
+  | None -> Miss
+  | Some e -> if write && not e.writable then Hit_readonly else Hit
+
+let insert t ~asid ~vpn ~writable =
+  let e =
+    match find t ~asid ~vpn with
+    | Some e -> e
+    | None -> (
+        (* Prefer an invalid slot; otherwise evict a random victim, as the
+           R3000 'tlbwr' (write-random) refill idiom does. *)
+        let n = Array.length t.slots in
+        let rec invalid i =
+          if i >= n then None
+          else if not t.slots.(i).valid then Some t.slots.(i)
+          else invalid (i + 1)
+        in
+        match invalid 0 with
+        | Some e -> e
+        | None -> t.slots.(Rng.int t.rng n))
+  in
+  e.valid <- true;
+  e.asid <- asid;
+  e.vpn <- vpn;
+  e.writable <- writable
+
+let invalidate t ~asid ~vpn =
+  match find t ~asid ~vpn with None -> () | Some e -> e.valid <- false
+
+let flush_asid t ~asid =
+  Array.iter (fun e -> if e.valid && e.asid = asid then e.valid <- false) t.slots
+
+let flush_all t = Array.iter (fun e -> e.valid <- false) t.slots
+
+let valid_entries t =
+  Array.fold_left (fun acc e -> if e.valid then acc + 1 else acc) 0 t.slots

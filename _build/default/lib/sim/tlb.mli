@@ -1,0 +1,44 @@
+(** Simulated translation lookaside buffer.
+
+    Modelled on the MIPS R3000: a small fully-associative array of
+    (ASID, VPN) tagged entries with random replacement and *software* miss
+    handling — the OS refill handler cost is what makes the paper's
+    cached/volatile fbuf transfers cost 3 us/page instead of 0.
+
+    The TLB caches the writable bit, so downgrading a mapping's protection
+    requires an explicit shootdown (the consistency action the paper counts
+    against non-volatile fbufs), and upgrading leads to a TLB modification
+    fault on the next write through a stale read-only entry. *)
+
+type t
+
+type probe_result =
+  | Hit  (** translation present with sufficient permission *)
+  | Hit_readonly
+      (** translation present but the access is a write and the cached entry
+          is read-only: the hardware raises a TLB modification exception *)
+  | Miss  (** no entry for this (asid, vpn) *)
+
+val create : ?entries:int -> Rng.t -> t
+(** [entries] defaults to 64 (R3000). *)
+
+val entries : t -> int
+
+val probe : t -> asid:int -> vpn:int -> write:bool -> probe_result
+(** Look up a translation. Does not modify the TLB. *)
+
+val insert : t -> asid:int -> vpn:int -> writable:bool -> unit
+(** Refill after a miss (or after a modification fault, with the new
+    permission). Replaces the existing entry for (asid, vpn) if any,
+    otherwise evicts a random victim. *)
+
+val invalidate : t -> asid:int -> vpn:int -> unit
+(** Shoot down one entry if present. *)
+
+val flush_asid : t -> asid:int -> unit
+(** Invalidate every entry belonging to one address space. *)
+
+val flush_all : t -> unit
+
+val valid_entries : t -> int
+(** Number of live entries (for tests and locality diagnostics). *)

@@ -1,0 +1,1 @@
+lib/vm/access.ml: Bytes Char Cost_model Fbufs_sim Int32 Machine Pd Phys_mem Pmap Prot Stats Tlb Vm_map

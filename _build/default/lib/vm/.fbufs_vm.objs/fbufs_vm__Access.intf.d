@@ -1,0 +1,1 @@
+lib/vm/access.mli: Pd

@@ -1,0 +1,1 @@
+lib/vm/pd.ml: Fbufs_sim Format Machine Pmap Vm_map

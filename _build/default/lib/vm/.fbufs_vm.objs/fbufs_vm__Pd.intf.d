@@ -1,0 +1,1 @@
+lib/vm/pd.mli: Fbufs_sim Format Vm_map

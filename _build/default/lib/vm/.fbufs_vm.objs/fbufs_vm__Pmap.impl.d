@@ -1,0 +1,1 @@
+lib/vm/pmap.ml: Cost_model Fbufs_sim Hashtbl Machine Phys_mem Stats Tlb

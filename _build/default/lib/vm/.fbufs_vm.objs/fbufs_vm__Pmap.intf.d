@@ -1,0 +1,1 @@
+lib/vm/pmap.mli: Fbufs_sim

@@ -1,0 +1,1 @@
+lib/vm/remap.ml: Cost_model Fbufs_sim List Machine Pd Phys_mem Prot Vm_map

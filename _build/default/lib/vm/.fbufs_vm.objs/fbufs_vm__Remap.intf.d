@@ -1,0 +1,1 @@
+lib/vm/remap.mli: Pd

@@ -1,0 +1,1 @@
+lib/vm/vm_map.ml: Cost_model Fbufs_sim Hashtbl Machine Option Phys_mem Pmap Prot Stats

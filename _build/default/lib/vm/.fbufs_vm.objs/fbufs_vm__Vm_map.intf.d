@@ -1,0 +1,1 @@
+lib/vm/vm_map.mli: Fbufs_sim Pmap Prot

@@ -1,0 +1,194 @@
+open Fbufs_sim
+
+let page_size (dom : Pd.t) = dom.m.cost.Cost_model.page_size
+
+let raise_violation (dom : Pd.t) vaddr write =
+  raise (Vm_map.Protection_violation { domain = dom.name; vaddr; write })
+
+let handle_fault (dom : Pd.t) ~vpn ~write ~vaddr =
+  let hooked =
+    match dom.fault_hook with Some h -> h dom ~vpn ~write | None -> false
+  in
+  if not hooked then
+    match Vm_map.fault dom.map ~vpn ~write with
+    | Vm_map.Resolved -> ()
+    | Vm_map.Violation -> raise_violation dom vaddr write
+
+(* Translate a virtual address to (frame, retained-entry) performing the
+   full TLB / pmap / fault dance with charges. *)
+let translate (dom : Pd.t) ~vaddr ~write =
+  let m = dom.m in
+  let ps = page_size dom in
+  let vpn = vaddr / ps in
+  let asid = Pd.asid dom in
+  let pmap = Vm_map.pmap dom.map in
+  let rec attempt depth =
+    if depth > 4 then
+      failwith "Access.translate: fault loop (mechanism bug)"
+    else
+      match Tlb.probe m.tlb ~asid ~vpn ~write with
+      | Tlb.Hit -> (
+          match Pmap.lookup pmap ~vpn with
+          | Some e -> e.Pmap.frame
+          | None ->
+              (* A TLB hit without a pmap entry means a shootdown was
+                 missed; treat as fatal mechanism bug. *)
+              failwith "Access.translate: TLB/pmap inconsistency")
+      | Tlb.Miss -> (
+          Machine.charge m m.cost.Cost_model.tlb_refill;
+          Stats.incr m.stats "tlb.miss";
+          match Pmap.lookup pmap ~vpn with
+          | Some e when (not write) || e.Pmap.writable ->
+              Tlb.insert m.tlb ~asid ~vpn ~writable:e.Pmap.writable;
+              e.Pmap.frame
+          | Some _ | None ->
+              handle_fault dom ~vpn ~write ~vaddr;
+              attempt (depth + 1))
+      | Tlb.Hit_readonly -> (
+          Machine.charge m m.cost.Cost_model.tlb_mod_fault;
+          Stats.incr m.stats "tlb.mod_fault";
+          match Pmap.lookup pmap ~vpn with
+          | Some e when e.Pmap.writable ->
+              (* Permission was upgraded since the entry was cached. *)
+              Tlb.insert m.tlb ~asid ~vpn ~writable:true;
+              e.Pmap.frame
+          | Some _ | None ->
+              handle_fault dom ~vpn ~write ~vaddr;
+              attempt (depth + 1))
+  in
+  (attempt 0, vaddr mod ps)
+
+let charge_word (dom : Pd.t) =
+  let m = dom.m in
+  Machine.charge m
+    (m.cost.Cost_model.word_touch +. m.cost.Cost_model.cache_miss)
+
+let read_word dom ~vaddr =
+  let ps = page_size dom in
+  if (vaddr mod ps) + 4 > ps then
+    invalid_arg "Access.read_word: crosses page boundary";
+  charge_word dom;
+  let frame, off = translate dom ~vaddr ~write:false in
+  let b = Phys_mem.data dom.m.pmem frame in
+  Int32.to_int (Bytes.get_int32_le b off) land 0xFFFFFFFF
+
+let write_word dom ~vaddr v =
+  let ps = page_size dom in
+  if (vaddr mod ps) + 4 > ps then
+    invalid_arg "Access.write_word: crosses page boundary";
+  charge_word dom;
+  let frame, off = translate dom ~vaddr ~write:true in
+  let b = Phys_mem.data dom.m.pmem frame in
+  Bytes.set_int32_le b off (Int32.of_int (v land 0xFFFFFFFF))
+
+(* Iterate over the page-aligned segments of [vaddr, vaddr+len). *)
+let iter_segments dom ~vaddr ~len f =
+  let ps = page_size dom in
+  let rec loop va remaining =
+    if remaining > 0 then begin
+      let off = va mod ps in
+      let seg = min remaining (ps - off) in
+      f ~vaddr:va ~len:seg;
+      loop (va + seg) (remaining - seg)
+    end
+  in
+  loop vaddr len
+
+let read_bytes (dom : Pd.t) ~vaddr ~len =
+  let out = Bytes.create len in
+  let m = dom.m in
+  let pos = ref 0 in
+  iter_segments dom ~vaddr ~len (fun ~vaddr ~len ->
+      let frame, off = translate dom ~vaddr ~write:false in
+      Machine.charge m (float_of_int len *. m.cost.Cost_model.copy_per_byte);
+      Bytes.blit (Phys_mem.data m.pmem frame) off out !pos len;
+      pos := !pos + len);
+  Stats.add m.stats "mem.bytes_read" len;
+  out
+
+let write_bytes (dom : Pd.t) ~vaddr src =
+  let m = dom.m in
+  let len = Bytes.length src in
+  let pos = ref 0 in
+  iter_segments dom ~vaddr ~len (fun ~vaddr ~len ->
+      let frame, off = translate dom ~vaddr ~write:true in
+      Machine.charge m (float_of_int len *. m.cost.Cost_model.copy_per_byte);
+      Bytes.blit src !pos (Phys_mem.data m.pmem frame) off len;
+      pos := !pos + len);
+  Stats.add m.stats "mem.bytes_written" len
+
+let write_string dom ~vaddr s = write_bytes dom ~vaddr (Bytes.of_string s)
+
+let blit ~src ~src_vaddr ~dst ~dst_vaddr ~len =
+  (* One physical copy: read side is charged, write side reuses the data
+     without a second per-byte charge (a real bcopy touches each byte once
+     on each side; copy_per_byte is calibrated for a full load+store). *)
+  let data = read_bytes src ~vaddr:src_vaddr ~len in
+  let m = dst.Pd.m in
+  let pos = ref 0 in
+  iter_segments dst ~vaddr:dst_vaddr ~len (fun ~vaddr ~len ->
+      let frame, off = translate dst ~vaddr ~write:true in
+      Bytes.blit data !pos (Phys_mem.data m.pmem frame) off len;
+      pos := !pos + len)
+
+type checksum_state = { sum : int; odd : int option }
+
+let checksum_start = { sum = 0; odd = None }
+
+let checksum_feed (dom : Pd.t) ~vaddr ~len state =
+  let m = dom.m in
+  let sum = ref state.sum in
+  let odd = ref state.odd in
+  iter_segments dom ~vaddr ~len (fun ~vaddr ~len ->
+      let frame, off = translate dom ~vaddr ~write:false in
+      Machine.charge m
+        (float_of_int len *. m.cost.Cost_model.checksum_per_byte);
+      let b = Phys_mem.data m.pmem frame in
+      let i = ref 0 in
+      (match !odd with
+      | Some hi when len > 0 ->
+          sum := !sum + ((hi lsl 8) lor Char.code (Bytes.get b off));
+          odd := None;
+          i := 1
+      | Some _ | None -> ());
+      while !i + 1 < len do
+        sum :=
+          !sum
+          + ((Char.code (Bytes.get b (off + !i)) lsl 8)
+            lor Char.code (Bytes.get b (off + !i + 1)));
+        i := !i + 2
+      done;
+      if !i < len then odd := Some (Char.code (Bytes.get b (off + !i))));
+  { sum = !sum; odd = !odd }
+
+let checksum_finish state =
+  let sum =
+    match state.odd with Some hi -> state.sum + (hi lsl 8) | None -> state.sum
+  in
+  let fold s =
+    let s = (s land 0xFFFF) + (s lsr 16) in
+    (s land 0xFFFF) + (s lsr 16)
+  in
+  lnot (fold sum) land 0xFFFF
+
+let checksum dom ~vaddr ~len =
+  checksum_finish (checksum_feed dom ~vaddr ~len checksum_start)
+
+let touch_read dom ~vaddr ~npages =
+  let ps = page_size dom in
+  for i = 0 to npages - 1 do
+    ignore (read_word dom ~vaddr:(vaddr + (i * ps)))
+  done
+
+let touch_write dom ~vaddr ~npages =
+  let ps = page_size dom in
+  for i = 0 to npages - 1 do
+    write_word dom ~vaddr:(vaddr + (i * ps)) (0xF00D + i)
+  done
+
+let can_access (dom : Pd.t) ~vaddr ~write =
+  let ps = page_size dom in
+  let vpn = vaddr / ps in
+  match Vm_map.prot_of dom.Pd.map ~vpn with
+  | None -> false
+  | Some p -> if write then Prot.can_write p else Prot.can_read p

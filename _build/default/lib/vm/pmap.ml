@@ -1,0 +1,44 @@
+open Fbufs_sim
+
+type entry = { frame : Phys_mem.frame_id; writable : bool }
+
+type t = { m : Machine.t; asid : int; table : (int, entry) Hashtbl.t }
+
+let create m ~asid = { m; asid; table = Hashtbl.create 256 }
+
+let asid t = t.asid
+
+let lookup t ~vpn = Hashtbl.find_opt t.table vpn
+
+let enter t ~vpn ~frame ~writable =
+  Machine.charge t.m t.m.cost.Cost_model.pmap_enter;
+  Stats.incr t.m.stats "pmap.enter";
+  Hashtbl.replace t.table vpn { frame; writable }
+
+let protect t ~vpn ~writable =
+  match Hashtbl.find_opt t.table vpn with
+  | None -> invalid_arg "Pmap.protect: no entry"
+  | Some e ->
+      Machine.charge t.m t.m.cost.Cost_model.pmap_protect;
+      Stats.incr t.m.stats "pmap.protect";
+      if e.writable && not writable then begin
+        (* Downgrade: a writable translation may be cached; shoot it down. *)
+        Machine.charge t.m t.m.cost.Cost_model.tlb_shootdown;
+        Stats.incr t.m.stats "tlb.shootdown";
+        Tlb.invalidate t.m.tlb ~asid:t.asid ~vpn
+      end;
+      Hashtbl.replace t.table vpn { e with writable }
+
+let remove t ~vpn =
+  match Hashtbl.find_opt t.table vpn with
+  | None -> None
+  | Some e ->
+      Machine.charge t.m t.m.cost.Cost_model.pmap_remove;
+      Stats.incr t.m.stats "pmap.remove";
+      Machine.charge t.m t.m.cost.Cost_model.tlb_shootdown;
+      Stats.incr t.m.stats "tlb.shootdown";
+      Tlb.invalidate t.m.tlb ~asid:t.asid ~vpn;
+      Hashtbl.remove t.table vpn;
+      Some e
+
+let entry_count t = Hashtbl.length t.table

@@ -1,0 +1,37 @@
+(** Machine-dependent physical map: one per address space.
+
+    This is the lower level of the two-level VM system the paper insists
+    modern portable operating systems use ("mapping changes require the
+    modification of both low-level, machine dependent page tables, and
+    high-level, machine-independent data structures"). The TLB refill
+    handler reads this table; every mutation charges simulated time, and
+    mutations of entries that may be cached in the TLB additionally pay a
+    shootdown. *)
+
+type entry = { frame : Fbufs_sim.Phys_mem.frame_id; writable : bool }
+
+type t
+
+val create : Fbufs_sim.Machine.t -> asid:int -> t
+
+val asid : t -> int
+
+val lookup : t -> vpn:int -> entry option
+(** Hardware-walk view used by the TLB refill path; free of charge (the
+    refill cost is charged by the access path). *)
+
+val enter : t -> vpn:int -> frame:Fbufs_sim.Phys_mem.frame_id -> writable:bool -> unit
+(** Install or replace a translation. Charges [pmap_enter]. *)
+
+val protect : t -> vpn:int -> writable:bool -> unit
+(** Change the writable bit of an existing entry. Charges [pmap_protect],
+    plus a TLB shootdown when write permission is being removed (a stale
+    writable TLB entry would be a protection hole). Upgrades are lazy: the
+    stale read-only TLB entry is left to cause a modification fault.
+    Raises [Invalid_argument] if no entry exists. *)
+
+val remove : t -> vpn:int -> entry option
+(** Drop a translation, returning it. Charges [pmap_remove] plus a TLB
+    shootdown. Returns [None] (and charges nothing) if absent. *)
+
+val entry_count : t -> int

@@ -1,0 +1,13 @@
+type t = No_access | Read_only | Read_write
+
+let can_read = function No_access -> false | Read_only | Read_write -> true
+let can_write = function No_access | Read_only -> false | Read_write -> true
+
+let equal (a : t) b = a = b
+
+let to_string = function
+  | No_access -> "---"
+  | Read_only -> "r--"
+  | Read_write -> "rw-"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

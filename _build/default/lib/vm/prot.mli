@@ -1,0 +1,10 @@
+(** Page protection values. *)
+
+type t = No_access | Read_only | Read_write
+
+val can_read : t -> bool
+val can_write : t -> bool
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

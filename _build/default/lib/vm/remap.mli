@@ -1,0 +1,25 @@
+(** Conventional virtual page remapping with move semantics.
+
+    This is the generic facility of the V kernel / DASH lineage the paper
+    uses as its baseline ("we use a conventional remap facility with copy
+    semantics as the baseline"): pages are unmapped from the sender and
+    mapped into a freshly reserved (or caller-fixed) range in the receiver,
+    paying both VM levels and TLB consistency on every transfer. *)
+
+val move :
+  src:Pd.t -> dst:Pd.t -> src_vpn:int -> npages:int -> ?dst_vpn:int -> unit -> int
+(** Transfer ownership of the frames backing [npages] pages from [src] to
+    [dst] with move semantics. When [dst_vpn] is omitted a fresh range is
+    reserved in the receiver (charging the address-range search the
+    ping-pong benchmarks of prior work conveniently skipped). Returns the
+    receiver-side base VPN. The receiver mapping is entered eagerly with
+    read-write protection. *)
+
+val alloc_pages : Pd.t -> npages:int -> clear_fraction:float -> int
+(** Allocate fresh anonymous pages eagerly (reserve range, allocate frames,
+    optionally clear [clear_fraction] of each page's bytes for security),
+    returning the base VPN. Models the allocation cost a realistic
+    unidirectional data flow pays and that ping-pong tests hide. *)
+
+val free_pages : Pd.t -> vpn:int -> npages:int -> unit
+(** Release the range and free the frames. *)

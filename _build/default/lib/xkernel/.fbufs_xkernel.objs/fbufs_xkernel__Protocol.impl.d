@@ -1,0 +1,1 @@
+lib/xkernel/protocol.ml: Cost_model Fbufs_msg Fbufs_sim Fbufs_vm Machine Pd Printf Stats

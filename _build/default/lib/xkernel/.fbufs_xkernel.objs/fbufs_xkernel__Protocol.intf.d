@@ -1,0 +1,1 @@
+lib/xkernel/protocol.mli: Fbufs_msg Fbufs_sim Fbufs_vm

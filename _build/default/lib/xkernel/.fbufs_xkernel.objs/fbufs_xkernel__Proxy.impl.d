@@ -1,0 +1,1 @@
+lib/xkernel/proxy.ml: Fbufs_ipc Fbufs_msg Fbufs_vm Hashtbl Pd Printf Protocol

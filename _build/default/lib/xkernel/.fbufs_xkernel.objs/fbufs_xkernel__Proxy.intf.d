@@ -1,0 +1,1 @@
+lib/xkernel/proxy.mli: Fbufs Fbufs_ipc Fbufs_vm Protocol

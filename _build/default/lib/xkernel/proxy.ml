@@ -1,0 +1,39 @@
+open Fbufs_vm
+
+(* Proxies are ordinary Protocol.t values; we remember their connections on
+   the side so tests can inspect deallocation traffic. *)
+let conns : (string, Fbufs_ipc.Ipc.conn) Hashtbl.t = Hashtbl.create 16
+
+let conn_of (p : Protocol.t) = Hashtbl.find_opt conns p.Protocol.name
+
+let make region ~from_dom ~(target : Protocol.t) ~mode ~free_after ~dir =
+  let conn =
+    Fbufs_ipc.Ipc.connect region ~src:from_dom ~dst:target.Protocol.dom ?mode
+      ~auto_free_dst:true ()
+  in
+  let name =
+    Printf.sprintf "%s-proxy:%s->%s:%s" dir from_dom.Pd.name
+      target.Protocol.dom.Pd.name target.Protocol.name
+  in
+  let forward msg =
+    let invoke =
+      match dir with
+      | "push" -> fun m -> target.Protocol.push m
+      | _ -> fun m -> target.Protocol.pop m
+    in
+    Fbufs_ipc.Ipc.call conn msg ~handler:invoke;
+    if free_after then Fbufs_msg.Msg.free_all msg ~dom:from_dom
+  in
+  let p =
+    match dir with
+    | "push" -> Protocol.create ~name ~dom:from_dom ~push:forward ()
+    | _ -> Protocol.create ~name ~dom:from_dom ~pop:forward ()
+  in
+  Hashtbl.replace conns name conn;
+  p
+
+let push_proxy region ~from_dom ~target ?mode ?(free_after = true) () =
+  make region ~from_dom ~target ~mode ~free_after ~dir:"push"
+
+let pop_proxy region ~from_dom ~target ?mode ?(free_after = true) () =
+  make region ~from_dom ~target ~mode ~free_after ~dir:"pop"

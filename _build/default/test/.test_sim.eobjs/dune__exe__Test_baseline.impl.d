@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Cost_model Fbufs_baseline Fbufs_harness Fbufs_sim Float Gen List Machine Phys_mem Printf QCheck QCheck_alcotest Stats String

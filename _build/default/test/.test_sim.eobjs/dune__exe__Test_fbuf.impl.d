@@ -1,0 +1,1 @@
+test/test_fbuf.ml: Access Alcotest Allocator Array Fbuf Fbuf_api Fbufs Fbufs_harness Fbufs_sim Fbufs_vm Gen List Machine Pd Phys_mem Printf QCheck QCheck_alcotest Region Stats String Transfer Vm_map

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Exp_fig3 Exp_fig4 Exp_fig5 Exp_remap Exp_table1 Fbufs Fbufs_harness Fbufs_vm Float Lazy List Printf Report Testbed

@@ -1,0 +1,1 @@
+test/test_msg.ml: Access Alcotest Allocator Bytes Fbuf Fbuf_api Fbufs Fbufs_harness Fbufs_msg Fbufs_sim Fbufs_vm List Machine Pd QCheck QCheck_alcotest Region Stats String Transfer

@@ -1,0 +1,1 @@
+test/test_netdev.ml: Alcotest Allocator Array Cost_model Des Fbuf Fbuf_api Fbufs Fbufs_harness Fbufs_msg Fbufs_netdev Fbufs_protocols Fbufs_sim List Machine Printf String

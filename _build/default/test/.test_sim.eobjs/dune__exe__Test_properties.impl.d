@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Allocator Array Des Fbuf Fbufs Fbufs_harness Fbufs_sim Gen Hashtbl List Machine Phys_mem Printf QCheck QCheck_alcotest Region Rng Tlb Transfer

@@ -1,0 +1,1 @@
+test/test_protocols.ml: Alcotest Allocator Bytes Fbuf Fbuf_api Fbufs Fbufs_harness Fbufs_msg Fbufs_protocols Fbufs_sim Fbufs_xkernel Machine Phys_mem Printf QCheck QCheck_alcotest String

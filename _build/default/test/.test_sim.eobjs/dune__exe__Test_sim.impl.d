@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Bytes Clock Cost_model Des Fbufs_sim List Machine Phys_mem Printf QCheck QCheck_alcotest Rng Stats Tlb

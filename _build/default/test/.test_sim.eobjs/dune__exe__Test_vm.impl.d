@@ -1,0 +1,1 @@
+test/test_vm.ml: Access Alcotest Bytes Char Cost_model Fbufs_sim Fbufs_vm Gen Machine Pd Phys_mem Printf Prot QCheck QCheck_alcotest Remap Stats String Vm_map

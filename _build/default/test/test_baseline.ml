@@ -1,0 +1,234 @@
+(* Tests for the comparator transfer mechanisms: software copy, Mach
+   native (copy / COW), and the DASH-style remap measurements. *)
+
+open Fbufs_sim
+module Copy_transfer = Fbufs_baseline.Copy_transfer
+module Mach_native = Fbufs_baseline.Mach_native
+module Dash_remap = Fbufs_baseline.Dash_remap
+module Testbed = Fbufs_harness.Testbed
+
+let check = Alcotest.check
+
+let setup () =
+  let tb = Testbed.create () in
+  let src = Testbed.user_domain tb "src" in
+  let dst = Testbed.user_domain tb "dst" in
+  (tb, src, dst)
+
+(* ------------------------------------------------------------------ *)
+(* Copy                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_copy_integrity () =
+  let tb, src, dst = setup () in
+  let c = Copy_transfer.create ~src ~dst ~kernel:tb.Testbed.kernel ~max_bytes:8192 in
+  check Alcotest.string "roundtrip" "two hops through the kernel"
+    (Copy_transfer.verify_roundtrip c "two hops through the kernel")
+
+let test_copy_charges_two_traversals () =
+  let tb, src, dst = setup () in
+  let m = tb.Testbed.m in
+  let c =
+    Copy_transfer.create ~src ~dst ~kernel:tb.Testbed.kernel
+      ~max_bytes:(64 * 4096)
+  in
+  Copy_transfer.transfer c ~bytes:(64 * 4096) (* warm: fault everything in *);
+  let t0 = Machine.now m in
+  Copy_transfer.transfer c ~bytes:(64 * 4096) ;
+  let us = Machine.now m -. t0 in
+  let two_copies =
+    2.0 *. float_of_int (64 * 4096) *. m.Machine.cost.Cost_model.copy_per_byte
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.0f us >= two copy traversals (%.0f)" us two_copies)
+    true (us >= two_copies)
+
+let test_copy_oversized_rejected () =
+  let tb, src, dst = setup () in
+  let c = Copy_transfer.create ~src ~dst ~kernel:tb.Testbed.kernel ~max_bytes:4096 in
+  Alcotest.(check bool) "raises" true
+    (try
+       Copy_transfer.transfer c ~bytes:999999;
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Mach native                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_mach_cow_integrity () =
+  let tb, src, dst = setup () in
+  let mach = Mach_native.create ~src ~dst ~kernel:tb.Testbed.kernel in
+  check Alcotest.string "receiver view immune to sender scribble"
+    "copy on write!"
+    (Mach_native.verify_cow_roundtrip mach "copy on write!")
+
+let test_mach_small_messages_copied () =
+  let tb, src, dst = setup () in
+  let m = tb.Testbed.m in
+  let mach = Mach_native.create ~src ~dst ~kernel:tb.Testbed.kernel in
+  let faults0 = Stats.get m.Machine.stats "vm.fault" in
+  Mach_native.transfer mach ~bytes:1024;
+  Mach_native.transfer mach ~bytes:1024;
+  (* The copy path uses persistent buffers: at most the initial zero-fill
+     faults, no COW machinery. *)
+  Alcotest.(check bool) "no COW copies" true
+    (Stats.get m.Machine.stats "vm.cow_copy" = 0);
+  ignore faults0
+
+let test_mach_large_messages_cow () =
+  let tb, src, dst = setup () in
+  let m = tb.Testbed.m in
+  let mach = Mach_native.create ~src ~dst ~kernel:tb.Testbed.kernel in
+  Mach_native.transfer mach ~bytes:16384;
+  Alcotest.(check bool) "faults happened (lazy pmap)" true
+    (Stats.get m.Machine.stats "vm.fault" > 0)
+
+let test_mach_cow_slower_per_page_than_copy_threshold_logic () =
+  let tb, src, dst = setup () in
+  let mach = Mach_native.create ~src ~dst ~kernel:tb.Testbed.kernel in
+  check Alcotest.int "threshold" 2048 Mach_native.copy_threshold;
+  ignore (tb, mach)
+
+let test_mach_no_frame_leaks () =
+  let tb, src, dst = setup () in
+  let m = tb.Testbed.m in
+  let mach = Mach_native.create ~src ~dst ~kernel:tb.Testbed.kernel in
+  Mach_native.transfer_cow mach ~bytes:32768;
+  let frames = Phys_mem.free_frames m.Machine.pmem in
+  for _ = 1 to 10 do
+    Mach_native.transfer_cow mach ~bytes:32768
+  done;
+  check Alcotest.int "steady state" frames (Phys_mem.free_frames m.Machine.pmem)
+
+(* ------------------------------------------------------------------ *)
+(* DASH remap                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_remap_ping_pong_cheaper_than_realistic () =
+  let pp =
+    Dash_remap.ping_pong_per_page (Machine.create ~nframes:4096 ()) ~npages:16
+      ~rounds:10
+  in
+  let real =
+    Dash_remap.realistic_per_page (Machine.create ~nframes:4096 ()) ~npages:16
+      ~rounds:10 ~clear_fraction:0.0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "ping-pong %.1f < realistic %.1f" pp real)
+    true (pp < real)
+
+let test_remap_clearing_scales_linearly () =
+  let real frac =
+    Dash_remap.realistic_per_page (Machine.create ~nframes:4096 ()) ~npages:16
+      ~rounds:10 ~clear_fraction:frac
+  in
+  let r0 = real 0.0 and r50 = real 0.5 and r100 = real 1.0 in
+  let page_zero = Cost_model.decstation_5000_200.Cost_model.page_zero in
+  Alcotest.(check bool)
+    (Printf.sprintf "slope %.1f..%.1f..%.1f tracks 57us" r0 r50 r100)
+    true
+    (Float.abs (r100 -. r0 -. page_zero) < 3.0
+    && Float.abs (r50 -. r0 -. (page_zero /. 2.0)) < 3.0)
+
+let test_remap_in_paper_band () =
+  (* The paper's update of the Tzou/Anderson result: ~22 ping-pong,
+     42-99 realistic. *)
+  let pp =
+    Dash_remap.ping_pong_per_page (Machine.create ~nframes:4096 ()) ~npages:16
+      ~rounds:10
+  in
+  let lo =
+    Dash_remap.realistic_per_page (Machine.create ~nframes:4096 ()) ~npages:16
+      ~rounds:10 ~clear_fraction:0.0
+  in
+  let hi =
+    Dash_remap.realistic_per_page (Machine.create ~nframes:4096 ()) ~npages:16
+      ~rounds:10 ~clear_fraction:1.0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "pp %.1f in [18,26]" pp)
+    true
+    (pp > 18.0 && pp < 26.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "band %.1f..%.1f brackets [42,99]-ish" lo hi)
+    true
+    (lo > 36.0 && lo < 52.0 && hi > 90.0 && hi < 115.0)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-mechanism ordering (the paper's headline)                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_mechanism_ordering () =
+  let rows = Fbufs_harness.Exp_table1.run () in
+  let find name =
+    (List.find (fun r -> r.Fbufs_harness.Exp_table1.mechanism = name) rows)
+      .Fbufs_harness.Exp_table1.per_page_us
+  in
+  let cv = find "fbufs, cached/volatile" in
+  let v = find "fbufs, volatile" in
+  let c = find "fbufs, cached" in
+  let plain = find "fbufs (plain)" in
+  let cow = find "Mach COW" in
+  let copy = find "copy" in
+  Alcotest.(check bool)
+    (Printf.sprintf "ordering %.1f < %.1f <= %.1f <= %.1f < %.1f < %.1f" cv v c
+       plain cow copy)
+    true
+    (cv < v && v <= c +. 2.0 && c <= plain && plain < cow && cow < copy)
+
+let prop_copy_any_string =
+  QCheck.Test.make ~name:"copy transfer preserves arbitrary strings" ~count:50
+    QCheck.(string_of_size Gen.(1 -- 4000))
+    (fun s ->
+      QCheck.assume (String.length s > 0);
+      let tb, src, dst = setup () in
+      let c =
+        Copy_transfer.create ~src ~dst ~kernel:tb.Testbed.kernel
+          ~max_bytes:(String.length s)
+      in
+      Copy_transfer.verify_roundtrip c s = s)
+
+let prop_cow_any_string =
+  QCheck.Test.make ~name:"Mach COW preserves receiver view" ~count:50
+    QCheck.(string_of_size Gen.(1 -- 4000))
+    (fun s ->
+      QCheck.assume (String.length s > 0);
+      let tb, src, dst = setup () in
+      let mach = Mach_native.create ~src ~dst ~kernel:tb.Testbed.kernel in
+      Mach_native.verify_cow_roundtrip mach s = s)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "baseline"
+    [
+      ( "copy",
+        [
+          tc "integrity" `Quick test_copy_integrity;
+          tc "charges two traversals" `Quick test_copy_charges_two_traversals;
+          tc "oversized rejected" `Quick test_copy_oversized_rejected;
+        ] );
+      ( "mach-native",
+        [
+          tc "cow integrity" `Quick test_mach_cow_integrity;
+          tc "small messages copied" `Quick test_mach_small_messages_copied;
+          tc "large messages cow" `Quick test_mach_large_messages_cow;
+          tc "copy threshold" `Quick
+            test_mach_cow_slower_per_page_than_copy_threshold_logic;
+          tc "no frame leaks" `Quick test_mach_no_frame_leaks;
+        ] );
+      ( "dash-remap",
+        [
+          tc "ping-pong cheaper than realistic" `Quick
+            test_remap_ping_pong_cheaper_than_realistic;
+          tc "clearing scales linearly" `Quick
+            test_remap_clearing_scales_linearly;
+          tc "in paper band" `Quick test_remap_in_paper_band;
+        ] );
+      ("ordering", [ tc "mechanism ordering" `Slow test_mechanism_ordering ]);
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_copy_any_string;
+          QCheck_alcotest.to_alcotest prop_cow_any_string;
+        ] );
+    ]

@@ -1,0 +1,433 @@
+(* Unit and property tests for the simulated-hardware substrate. *)
+
+open Fbufs_sim
+
+let check = Alcotest.check
+let fl = Alcotest.float 1e-9
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_clock_starts_at_zero () =
+  let c = Clock.create () in
+  check fl "initial" 0.0 (Clock.now c)
+
+let test_clock_advance_accumulates () =
+  let c = Clock.create () in
+  Clock.advance c 1.5;
+  Clock.advance c 2.25;
+  check fl "sum" 3.75 (Clock.now c)
+
+let test_clock_advance_negative_rejected () =
+  let c = Clock.create () in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Clock.advance: negative increment") (fun () ->
+      Clock.advance c (-1.0))
+
+let test_clock_advance_to_forward_only () =
+  let c = Clock.create () in
+  Clock.advance c 10.0;
+  Clock.advance_to c 5.0;
+  check fl "no rewind" 10.0 (Clock.now c);
+  Clock.advance_to c 12.0;
+  check fl "forward" 12.0 (Clock.now c)
+
+let test_clock_reset () =
+  let c = Clock.create () in
+  Clock.advance c 7.0;
+  Clock.reset c;
+  check fl "reset" 0.0 (Clock.now c)
+
+(* ------------------------------------------------------------------ *)
+(* Cost model                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let dec = Cost_model.decstation_5000_200
+
+let test_cost_page_words () =
+  check Alcotest.int "1024 words/page" 1024 (Cost_model.page_words dec)
+
+let test_cost_effective_net_rate () =
+  (* The three caps of the paper: 516 net link, 367 DMA, 285 contended.
+     The effective rate must model the contended DMA-bound case. *)
+  let r = Cost_model.effective_net_mbps dec in
+  Alcotest.(check bool)
+    (Printf.sprintf "effective rate %.1f in [270, 300]" r)
+    true
+    (r > 270.0 && r < 300.0)
+
+let test_cost_dma_bound_without_contention () =
+  let c = { dec with Cost_model.bus_contention = 0.0 } in
+  let r = Cost_model.effective_net_mbps c in
+  Alcotest.(check bool)
+    (Printf.sprintf "DMA-bound rate %.1f in [350, 380]" r)
+    true
+    (r > 350.0 && r < 380.0)
+
+let test_cost_wire_bound_with_fast_dma () =
+  let c =
+    { dec with Cost_model.bus_contention = 0.0; dma_startup = 0.0;
+      dma_mbps = 100_000.0 }
+  in
+  let r = Cost_model.effective_net_mbps c in
+  (* 622 * 48/53 = 563 Mb/s of payload when purely wire-limited. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "wire-bound rate %.1f in [555, 570]" r)
+    true
+    (r > 555.0 && r < 570.0)
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different streams" false (Rng.next a = Rng.next b)
+
+let test_rng_int_bounds () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 5 in
+  let b = Rng.split a in
+  Alcotest.(check bool) "split differs" false (Rng.next a = Rng.next b)
+
+let prop_rng_float_bounds =
+  QCheck.Test.make ~name:"rng floats stay in bounds" ~count:200
+    QCheck.(pair small_int pos_float)
+    (fun (seed, bound) ->
+      QCheck.assume (bound > 1e-6 && bound < 1e9);
+      let r = Rng.create seed in
+      let v = Rng.float r bound in
+      v >= 0.0 && v < bound)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_counters () =
+  let s = Stats.create () in
+  check Alcotest.int "absent is zero" 0 (Stats.get s "x");
+  Stats.incr s "x";
+  Stats.incr s "x";
+  Stats.add s "x" 3;
+  check Alcotest.int "accumulated" 5 (Stats.get s "x")
+
+let test_stats_reset () =
+  let s = Stats.create () in
+  Stats.incr s "x";
+  Stats.reset s;
+  check Alcotest.int "cleared" 0 (Stats.get s "x")
+
+let test_stats_to_list_sorted () =
+  let s = Stats.create () in
+  Stats.incr s "b";
+  Stats.incr s "a";
+  Stats.incr s "c";
+  check
+    Alcotest.(list string)
+    "sorted names" [ "a"; "b"; "c" ]
+    (List.map fst (Stats.to_list s))
+
+(* ------------------------------------------------------------------ *)
+(* Phys_mem                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pm () = Phys_mem.create ~page_size:4096 ~nframes:8
+
+let test_pmem_alloc_free_roundtrip () =
+  let p = pm () in
+  check Alcotest.int "all free" 8 (Phys_mem.free_frames p);
+  let f = Phys_mem.alloc p in
+  check Alcotest.int "one gone" 7 (Phys_mem.free_frames p);
+  check Alcotest.int "refcount 1" 1 (Phys_mem.refcount p f);
+  Phys_mem.decref p f;
+  check Alcotest.int "back" 8 (Phys_mem.free_frames p)
+
+let test_pmem_refcount_sharing () =
+  let p = pm () in
+  let f = Phys_mem.alloc p in
+  Phys_mem.incref p f;
+  Phys_mem.decref p f;
+  check Alcotest.int "still live" 1 (Phys_mem.refcount p f);
+  check Alcotest.int "not freed" 7 (Phys_mem.free_frames p);
+  Phys_mem.decref p f;
+  check Alcotest.int "freed" 8 (Phys_mem.free_frames p)
+
+let test_pmem_exhaustion () =
+  let p = pm () in
+  for _ = 1 to 8 do
+    ignore (Phys_mem.alloc p)
+  done;
+  Alcotest.check_raises "oom" Phys_mem.Out_of_memory (fun () ->
+      ignore (Phys_mem.alloc p))
+
+let test_pmem_data_survives () =
+  let p = pm () in
+  let f = Phys_mem.alloc p in
+  Bytes.set (Phys_mem.data p f) 100 'Z';
+  check Alcotest.char "read back" 'Z' (Bytes.get (Phys_mem.data p f) 100)
+
+let test_pmem_no_implicit_zeroing () =
+  (* Frames are recycled dirty unless explicitly zeroed: that is the
+     security property whose cost the paper quantifies at 57 us/page. *)
+  let p = pm () in
+  let f = Phys_mem.alloc p in
+  Bytes.set (Phys_mem.data p f) 0 'S';
+  Phys_mem.decref p f;
+  let f' = Phys_mem.alloc p in
+  check Alcotest.int "same frame recycled" f f';
+  check Alcotest.char "old data leaks" 'S' (Bytes.get (Phys_mem.data p f') 0);
+  Phys_mem.zero p f';
+  check Alcotest.char "zeroed" '\000' (Bytes.get (Phys_mem.data p f') 0)
+
+let test_pmem_copy_frame () =
+  let p = pm () in
+  let a = Phys_mem.alloc p and b = Phys_mem.alloc p in
+  Bytes.fill (Phys_mem.data p a) 0 4096 'q';
+  Phys_mem.copy_frame p ~src:a ~dst:b;
+  check Alcotest.char "copied" 'q' (Bytes.get (Phys_mem.data p b) 4095)
+
+let test_pmem_free_frame_use_rejected () =
+  let p = pm () in
+  let f = Phys_mem.alloc p in
+  Phys_mem.decref p f;
+  Alcotest.check_raises "data on free frame"
+    (Invalid_argument "Phys_mem.data: frame is free") (fun () ->
+      ignore (Phys_mem.data p f))
+
+(* ------------------------------------------------------------------ *)
+(* Tlb                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let tlb () = Tlb.create ~entries:4 (Rng.create 9)
+
+let check_probe msg expected actual =
+  let s = function
+    | Tlb.Hit -> "hit"
+    | Tlb.Hit_readonly -> "hit-ro"
+    | Tlb.Miss -> "miss"
+  in
+  Alcotest.(check string) msg (s expected) (s actual)
+
+let test_tlb_miss_then_hit () =
+  let t = tlb () in
+  check_probe "cold" Tlb.Miss (Tlb.probe t ~asid:1 ~vpn:10 ~write:false)
+
+let test_tlb_insert_and_hit () =
+  let t = tlb () in
+  Tlb.insert t ~asid:1 ~vpn:10 ~writable:true;
+  check_probe "hit" Tlb.Hit (Tlb.probe t ~asid:1 ~vpn:10 ~write:true)
+
+let test_tlb_asid_isolation () =
+  let t = tlb () in
+  Tlb.insert t ~asid:1 ~vpn:10 ~writable:true;
+  check_probe "other asid misses" Tlb.Miss
+    (Tlb.probe t ~asid:2 ~vpn:10 ~write:false)
+
+let test_tlb_readonly_write_faults () =
+  let t = tlb () in
+  Tlb.insert t ~asid:1 ~vpn:10 ~writable:false;
+  check_probe "read ok" Tlb.Hit (Tlb.probe t ~asid:1 ~vpn:10 ~write:false);
+  check_probe "write mod-fault" Tlb.Hit_readonly
+    (Tlb.probe t ~asid:1 ~vpn:10 ~write:true)
+
+let test_tlb_capacity_eviction () =
+  let t = tlb () in
+  for vpn = 0 to 5 do
+    Tlb.insert t ~asid:1 ~vpn ~writable:false
+  done;
+  check Alcotest.int "bounded" 4 (Tlb.valid_entries t)
+
+let test_tlb_invalidate () =
+  let t = tlb () in
+  Tlb.insert t ~asid:1 ~vpn:10 ~writable:true;
+  Tlb.invalidate t ~asid:1 ~vpn:10;
+  check_probe "gone" Tlb.Miss (Tlb.probe t ~asid:1 ~vpn:10 ~write:false)
+
+let test_tlb_flush_asid_selective () =
+  let t = tlb () in
+  Tlb.insert t ~asid:1 ~vpn:10 ~writable:true;
+  Tlb.insert t ~asid:2 ~vpn:20 ~writable:true;
+  Tlb.flush_asid t ~asid:1;
+  check_probe "asid 1 gone" Tlb.Miss (Tlb.probe t ~asid:1 ~vpn:10 ~write:false);
+  check_probe "asid 2 stays" Tlb.Hit (Tlb.probe t ~asid:2 ~vpn:20 ~write:false)
+
+let test_tlb_reinsert_updates_permission () =
+  let t = tlb () in
+  Tlb.insert t ~asid:1 ~vpn:10 ~writable:false;
+  Tlb.insert t ~asid:1 ~vpn:10 ~writable:true;
+  check Alcotest.int "no duplicate" 1 (Tlb.valid_entries t);
+  check_probe "writable now" Tlb.Hit (Tlb.probe t ~asid:1 ~vpn:10 ~write:true)
+
+(* ------------------------------------------------------------------ *)
+(* Machine                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_machine_charge_advances_clock_and_busy () =
+  let m = Machine.create ~nframes:16 () in
+  Machine.charge m 5.0;
+  check fl "clock" 5.0 (Machine.now m);
+  check fl "busy" 5.0 m.Machine.busy_us
+
+let test_machine_load_accounting () =
+  let m = Machine.create ~nframes:16 () in
+  let cp = Machine.checkpoint m in
+  Machine.charge m 30.0;
+  Machine.elapse_to m 100.0;
+  let load = Machine.load_since m cp in
+  check fl "30% busy" 0.3 load
+
+let test_machine_fresh_ids_unique () =
+  let m = Machine.create ~nframes:16 () in
+  let a = Machine.fresh_id m and b = Machine.fresh_id m in
+  Alcotest.(check bool) "distinct" true (a <> b)
+
+(* ------------------------------------------------------------------ *)
+(* Des                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_des_orders_by_time () =
+  let d = Des.create () in
+  let log = ref [] in
+  Des.schedule d 3.0 (fun () -> log := 3 :: !log);
+  Des.schedule d 1.0 (fun () -> log := 1 :: !log);
+  Des.schedule d 2.0 (fun () -> log := 2 :: !log);
+  Des.run d;
+  check Alcotest.(list int) "order" [ 1; 2; 3 ] (List.rev !log)
+
+let test_des_fifo_among_equal_times () =
+  let d = Des.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Des.schedule d 1.0 (fun () -> log := i :: !log)
+  done;
+  Des.run d;
+  check Alcotest.(list int) "fifo" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_des_handler_schedules_more () =
+  let d = Des.create () in
+  let log = ref [] in
+  Des.schedule d 1.0 (fun () ->
+      log := 1 :: !log;
+      Des.schedule d 2.0 (fun () -> log := 2 :: !log));
+  Des.run d;
+  check Alcotest.(list int) "chained" [ 1; 2 ] (List.rev !log)
+
+let test_des_rejects_past () =
+  let d = Des.create () in
+  Des.schedule d 5.0 ignore;
+  ignore (Des.step d);
+  Alcotest.(check bool) "raises" true
+    (try
+       Des.schedule d 1.0 ignore;
+       false
+     with Invalid_argument _ -> true)
+
+let test_des_now_tracks_dispatch () =
+  let d = Des.create () in
+  Des.schedule d 4.5 ignore;
+  ignore (Des.step d);
+  check fl "now" 4.5 (Des.now d)
+
+let test_des_heap_many_events () =
+  (* Exercise heap growth and ordering with hundreds of events. *)
+  let d = Des.create () in
+  let rng = Rng.create 11 in
+  let last = ref (-1.0) in
+  let count = ref 0 in
+  for _ = 1 to 500 do
+    let t = Rng.float rng 1000.0 in
+    Des.schedule d t (fun () ->
+        Alcotest.(check bool) "monotone" true (Des.now d >= !last);
+        last := Des.now d;
+        incr count)
+  done;
+  Des.run d;
+  check Alcotest.int "all ran" 500 !count
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "sim"
+    [
+      ( "clock",
+        [
+          tc "starts at zero" `Quick test_clock_starts_at_zero;
+          tc "advance accumulates" `Quick test_clock_advance_accumulates;
+          tc "negative rejected" `Quick test_clock_advance_negative_rejected;
+          tc "advance_to forward only" `Quick test_clock_advance_to_forward_only;
+          tc "reset" `Quick test_clock_reset;
+        ] );
+      ( "cost-model",
+        [
+          tc "page words" `Quick test_cost_page_words;
+          tc "effective net rate (contended)" `Quick
+            test_cost_effective_net_rate;
+          tc "DMA-bound without contention" `Quick
+            test_cost_dma_bound_without_contention;
+          tc "wire-bound with fast DMA" `Quick test_cost_wire_bound_with_fast_dma;
+        ] );
+      ( "rng",
+        [
+          tc "deterministic" `Quick test_rng_deterministic;
+          tc "seeds differ" `Quick test_rng_seeds_differ;
+          tc "int bounds" `Quick test_rng_int_bounds;
+          tc "split independent" `Quick test_rng_split_independent;
+          QCheck_alcotest.to_alcotest prop_rng_float_bounds;
+        ] );
+      ( "stats",
+        [
+          tc "counters" `Quick test_stats_counters;
+          tc "reset" `Quick test_stats_reset;
+          tc "sorted listing" `Quick test_stats_to_list_sorted;
+        ] );
+      ( "phys-mem",
+        [
+          tc "alloc/free roundtrip" `Quick test_pmem_alloc_free_roundtrip;
+          tc "refcount sharing" `Quick test_pmem_refcount_sharing;
+          tc "exhaustion" `Quick test_pmem_exhaustion;
+          tc "data survives" `Quick test_pmem_data_survives;
+          tc "no implicit zeroing" `Quick test_pmem_no_implicit_zeroing;
+          tc "copy frame" `Quick test_pmem_copy_frame;
+          tc "free frame use rejected" `Quick test_pmem_free_frame_use_rejected;
+        ] );
+      ( "tlb",
+        [
+          tc "miss then hit" `Quick test_tlb_miss_then_hit;
+          tc "insert and hit" `Quick test_tlb_insert_and_hit;
+          tc "asid isolation" `Quick test_tlb_asid_isolation;
+          tc "readonly write faults" `Quick test_tlb_readonly_write_faults;
+          tc "capacity eviction" `Quick test_tlb_capacity_eviction;
+          tc "invalidate" `Quick test_tlb_invalidate;
+          tc "flush asid selective" `Quick test_tlb_flush_asid_selective;
+          tc "reinsert updates permission" `Quick
+            test_tlb_reinsert_updates_permission;
+        ] );
+      ( "machine",
+        [
+          tc "charge advances clock and busy" `Quick
+            test_machine_charge_advances_clock_and_busy;
+          tc "load accounting" `Quick test_machine_load_accounting;
+          tc "fresh ids unique" `Quick test_machine_fresh_ids_unique;
+        ] );
+      ( "des",
+        [
+          tc "orders by time" `Quick test_des_orders_by_time;
+          tc "fifo among equal times" `Quick test_des_fifo_among_equal_times;
+          tc "handler schedules more" `Quick test_des_handler_schedules_more;
+          tc "rejects past" `Quick test_des_rejects_past;
+          tc "now tracks dispatch" `Quick test_des_now_tracks_dispatch;
+          tc "heap many events" `Quick test_des_heap_many_events;
+        ] );
+    ]
