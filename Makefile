@@ -1,0 +1,20 @@
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# The one gate CI runs: everything compiles (including examples and
+# bench) and the full test suite passes.
+check:
+	dune build @all && dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

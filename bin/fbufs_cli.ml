@@ -1,11 +1,13 @@
 (* Command-line driver: regenerate any of the paper's tables and figures,
-   run ablations, or dump the cost model. *)
+   run ablations, or dump the cost model. Every experiment accepts
+   [--trace FILE] (Chrome trace_event JSON) and [--jsonl FILE]; with
+   neither, tracing stays disabled and output is identical to an
+   untraced build. *)
 
 open Cmdliner
 module H = Fbufs_harness
 
-let table1 zero =
-  H.Exp_table1.print (H.Exp_table1.run ~zero_on_alloc:zero ())
+let table1 zero = H.Exp_table1.print (H.Exp_table1.run ~zero_on_alloc:zero ())
 
 let remap () = H.Exp_remap.print (H.Exp_remap.run ())
 let fig3 () = H.Exp_fig3.print (H.Exp_fig3.run ())
@@ -34,27 +36,105 @@ let zero_flag =
   in
   Arg.(value & flag & info [ "zero-on-alloc" ] ~doc)
 
+let trace_file =
+  let doc =
+    "Write a Chrome trace_event JSON of every simulated mechanism (pmap \
+     updates, TLB refills, fbuf cache hits/misses, IPC crossings, DMA) to \
+     $(docv); load it in chrome://tracing or Perfetto."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
+
+let jsonl_file =
+  let doc = "Write the raw event stream as one JSON object per line to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "jsonl" ] ~doc ~docv:"FILE")
+
+(* Wrap an experiment term so tracing spans exactly its run. *)
+let traced term =
+  let wrap chrome jsonl f = H.Tracing.with_trace ?chrome ?jsonl f in
+  Term.(const wrap $ trace_file $ jsonl_file $ term)
+
 let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
+
+let thunk1 f = Term.(const (fun zero () -> f zero) $ zero_flag)
+let thunk0 f = Term.const (fun () -> f ())
+
+let config_conv =
+  let parse s =
+    match s with
+    | "kernel-kernel" -> Ok H.Exp_fig5.Kernel_kernel
+    | "user-user" -> Ok H.Exp_fig5.User_user
+    | "user-netserver-user" -> Ok H.Exp_fig5.User_netserver_user
+    | _ ->
+        Error
+          (`Msg
+            "expected kernel-kernel, user-user or user-netserver-user")
+  in
+  let print ppf c = Format.pp_print_string ppf (H.Exp_fig5.config_name c) in
+  Arg.conv (parse, print)
+
+let trace_cmd =
+  let config =
+    let doc = "Topology: kernel-kernel, user-user or user-netserver-user." in
+    Arg.(
+      value
+      & opt config_conv H.Exp_fig5.User_user
+      & info [ "config" ] ~doc ~docv:"CONFIG")
+  in
+  let bytes =
+    let doc = "Message size in bytes." in
+    Arg.(value & opt int 65536 & info [ "bytes" ] ~doc ~docv:"N")
+  in
+  let uncached =
+    let doc = "Use uncached, non-volatile fbufs (the Figure 6 regime)." in
+    Arg.(value & flag & info [ "uncached" ] ~doc)
+  in
+  let window =
+    let doc = "Sliding-window size (messages in flight)." in
+    Arg.(value & opt (some int) None & info [ "window" ] ~doc ~docv:"N")
+  in
+  let pdu_size =
+    let doc = "IP PDU size in bytes." in
+    Arg.(value & opt (some int) None & info [ "pdu-size" ] ~doc ~docv:"N")
+  in
+  let nmsgs =
+    let doc = "Number of messages (default scales with size)." in
+    Arg.(value & opt (some int) None & info [ "nmsgs" ] ~doc ~docv:"N")
+  in
+  let out =
+    let doc = "Chrome trace output file." in
+    Arg.(
+      value & opt string "fbufs_trace.json" & info [ "trace" ] ~doc ~docv:"FILE")
+  in
+  let run config bytes uncached window pdu_size nmsgs out jsonl =
+    H.Tracing.run_workload ~config ~bytes ~uncached ?window ?pdu_size ?nmsgs
+      ~chrome:out ?jsonl ()
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run one fully traced end-to-end transfer and dump the event \
+          timeline plus a per-path latency histogram summary")
+    Term.(
+      const run $ config $ bytes $ uncached $ window $ pdu_size $ nmsgs $ out
+      $ jsonl_file)
 
 let cmds =
   [
-    cmd "table1" "Table 1: per-page transfer costs"
-      Term.(const table1 $ zero_flag);
+    cmd "table1" "Table 1: per-page transfer costs" (traced (thunk1 table1));
     cmd "remap" "Section 2.2.1: DASH-style remap measurements"
-      Term.(const remap $ const ());
+      (traced (thunk0 remap));
     cmd "fig3" "Figure 3: single-boundary throughput vs message size"
-      Term.(const fig3 $ const ());
-    cmd "fig4" "Figure 4: UDP/IP loopback throughput"
-      Term.(const fig4 $ const ());
+      (traced (thunk0 fig3));
+    cmd "fig4" "Figure 4: UDP/IP loopback throughput" (traced (thunk0 fig4));
     cmd "fig5" "Figure 5: end-to-end throughput, cached/volatile fbufs"
-      Term.(const fig5 $ const ());
+      (traced (thunk0 fig5));
     cmd "fig6" "Figure 6: end-to-end throughput, uncached fbufs"
-      Term.(const fig6 $ const ());
+      (traced (thunk0 fig6));
     cmd "ablation" "Design-choice ablations (DESIGN.md section 6)"
-      Term.(const ablations $ const ());
-    cmd "info" "Print the calibrated cost model"
-      Term.(const info_cmd $ const ());
-    cmd "all" "Run every experiment" Term.(const all $ zero_flag);
+      (traced (thunk0 ablations));
+    cmd "info" "Print the calibrated cost model" Term.(const info_cmd $ const ());
+    cmd "all" "Run every experiment" (traced (thunk1 all));
+    trace_cmd;
   ]
 
 let () =

@@ -108,10 +108,10 @@ let fresh_fbuf t ~npages =
   let base_vpn = take_address_range t ~npages in
   let zero = (Region.config t.region).Region.zero_on_alloc in
   for i = 0 to npages - 1 do
-    Machine.charge m m.Machine.cost.Cost_model.page_alloc;
+    Machine.charge ~kind:"page.alloc" m m.Machine.cost.Cost_model.page_alloc;
     let f = Phys_mem.alloc m.Machine.pmem in
     if zero then begin
-      Machine.charge m m.Machine.cost.Cost_model.page_zero;
+      Machine.charge ~kind:"page.zero" m m.Machine.cost.Cost_model.page_zero;
       Stats.incr m.Machine.stats "fbuf.page_zeroed";
       Phys_mem.zero m.Machine.pmem f
     end;
@@ -130,7 +130,7 @@ let alloc t ~npages =
   if t.torn_down then invalid_arg "Allocator.alloc: allocator was torn down";
   if npages <= 0 then invalid_arg "Allocator.alloc: npages must be positive";
   let m = Region.machine t.region in
-  let fb =
+  let fb, cache_hit =
     if t.variant.Fbuf.cached then
       match pop_cached t ~npages with
       | Some fb ->
@@ -138,10 +138,25 @@ let alloc t ~npages =
              no VM work and no clearing. *)
           fb.Fbuf.state <- Fbuf.Active;
           Stats.incr m.Machine.stats "fbuf.alloc_cached_hit";
-          fb
-      | None -> fresh_fbuf t ~npages
-    else fresh_fbuf t ~npages
+          (fb, true)
+      | None -> (fresh_fbuf t ~npages, false)
+    else (fresh_fbuf t ~npages, false)
   in
+  if Machine.tracing m then begin
+    let open Fbufs_trace.Trace in
+    Machine.trace_instant m ~domain:t.owner.Pd.name ~path_id:t.path.Path.id
+      ~args:
+        [
+          ("fbuf", Int fb.Fbuf.id);
+          ("npages", Int npages);
+          ("cache", Str (if cache_hit then "hit" else "miss"));
+        ]
+      "fbuf.alloc";
+    (* The async span is the causal backbone of one transfer: everything
+       that happens to this buffer until its last free links to this id. *)
+    Machine.async_begin m ~domain:t.owner.Pd.name ~path_id:t.path.Path.id
+      ~id:fb.Fbuf.id "fbuf.life"
+  end;
   fb.Fbuf.on_all_freed <- Some (on_all_freed t);
   fb.Fbuf.last_alloc_us <- Machine.now m;
   Fbuf.add_ref fb t.owner;
@@ -173,6 +188,11 @@ let reclaim t ?(older_than_us = 0.0) ~max_fbufs () =
   let take = min (max 0 max_fbufs) (List.length by_age) in
   let victims = List.filteri (fun i _ -> i < take) by_age in
   List.iter Transfer.reclaim_memory victims;
+  let m = Region.machine t.region in
+  if take > 0 && Machine.tracing m then
+    Machine.trace_instant m ~domain:t.owner.Pd.name ~path_id:t.path.Path.id
+      ~args:[ ("fbufs", Fbufs_trace.Trace.Int take) ]
+      "fbuf.reclaim";
   take
 
 let teardown t =

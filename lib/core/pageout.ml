@@ -26,8 +26,9 @@ let pressure t =
 let balance t =
   let m = Region.machine t.region in
   let reclaimed = ref 0 in
+  let sp = Machine.span_begin m "pageout.balance" in
   (* One daemon scan costs a range operation's worth of work. *)
-  Machine.charge m m.Machine.cost.Cost_model.vm_range_op;
+  Machine.charge ~kind:"pageout.scan" m m.Machine.cost.Cost_model.vm_range_op;
   let rec sweep () =
     if pressure t then begin
       let progress = ref false in
@@ -43,4 +44,9 @@ let balance t =
   in
   sweep ();
   Stats.add m.Machine.stats "pageout.reclaimed" !reclaimed;
+  (if Machine.tracing m then
+     Machine.span_end m
+       ~args:[ ("reclaimed", Fbufs_trace.Trace.Int !reclaimed) ]
+       sp
+   else Machine.span_end m sp);
   !reclaimed

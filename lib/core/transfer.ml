@@ -11,9 +11,17 @@ let check_active (fb : Fbuf.t) op =
 
 let stats (fb : Fbuf.t) = fb.Fbuf.m.Machine.stats
 
+let trace_fbuf_event (fb : Fbuf.t) ?(extra = []) ~domain kind =
+  let m = fb.Fbuf.m in
+  if Machine.tracing m then
+    Machine.trace_instant m ~domain ~path_id:fb.Fbuf.path.Path.id
+      ~args:(("fbuf", Fbufs_trace.Trace.Int fb.Fbuf.id) :: extra)
+      kind
+
 (* Revoke the originator's write permission (immutability enforcement). *)
 let protect_originator (fb : Fbuf.t) =
   let orig = Fbuf.originator fb in
+  trace_fbuf_event fb ~domain:orig.Pd.name "fbuf.secure";
   if orig.Pd.kernel then
     (* Trusted originator: enforcement is a no-op. *)
     Stats.incr (stats fb) "fbuf.secure_noop"
@@ -63,7 +71,11 @@ let send (fb : Fbuf.t) ~src ~dst =
     protect_originator fb;
   if not (Fbuf.is_mapped_in fb dst) then grant fb dst;
   Fbuf.add_ref fb dst;
-  Stats.incr (stats fb) "fbuf.send"
+  Stats.incr (stats fb) "fbuf.send";
+  if Machine.tracing fb.Fbuf.m then
+    trace_fbuf_event fb ~domain:src.Pd.name
+      ~extra:[ ("dst", Fbufs_trace.Trace.Str dst.Pd.name) ]
+      "fbuf.send"
 
 (* Full teardown of an uncached (or evicted) fbuf. *)
 let teardown (fb : Fbuf.t) =
@@ -98,6 +110,7 @@ let restore_originator_write (fb : Fbuf.t) =
 let free (fb : Fbuf.t) ~dom =
   check_active fb "Transfer.free";
   Fbuf.drop_ref fb dom;
+  trace_fbuf_event fb ~domain:dom.Pd.name "fbuf.free";
   let orig = Fbuf.originator fb in
   (* An uncached receiver that is done with the buffer has no further use
      for its mapping; cached receivers keep theirs (that is the cache). *)
@@ -112,6 +125,8 @@ let free (fb : Fbuf.t) ~dom =
     end
     else teardown fb;
     Stats.incr (stats fb) "fbuf.last_free";
+    Machine.async_end fb.Fbuf.m ~domain:dom.Pd.name
+      ~path_id:fb.Fbuf.path.Path.id ~id:fb.Fbuf.id "fbuf.life";
     match fb.Fbuf.on_all_freed with Some f -> f fb | None -> ()
   end
 
@@ -137,4 +152,5 @@ let reclaim_memory (fb : Fbuf.t) =
     fb.Fbuf.mapped_in;
   fb.Fbuf.mapped_in <- [];
   Vm_map.convert_zero_fill orig.Pd.map ~vpn:fb.base_vpn ~npages:fb.npages;
-  Stats.incr (stats fb) "fbuf.reclaimed"
+  Stats.incr (stats fb) "fbuf.reclaimed";
+  trace_fbuf_event fb ~domain:orig.Pd.name "fbuf.reclaimed"

@@ -26,6 +26,52 @@ let fmt_opt = function
 
 type series = { name : string; points : (int * float) list }
 
+let lcell ~width s =
+  if String.length s >= width then s
+  else s ^ String.make (width - String.length s) ' '
+
+let fmt_us v =
+  if v >= 1000.0 then Printf.sprintf "%.0f" v
+  else if v >= 10.0 then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.2f" v
+
+let print_trace_summary ?(min_count = 1) trace =
+  let rows = Fbufs_trace.Trace.summary trace in
+  let rows =
+    List.filter
+      (fun (_, h) -> Fbufs_trace.Histogram.count h >= min_count)
+      rows
+  in
+  if rows <> [] then begin
+    print_title "Trace summary: latency by event kind and path (us)";
+    let header =
+      lcell ~width:24 "kind"
+      :: List.map (cell ~width:9)
+           [ "path"; "count"; "p50"; "p90"; "p99"; "max"; "total" ]
+    in
+    let line = String.concat "  " header in
+    print_endline line;
+    print_endline (String.make (String.length line) '-');
+    List.iter
+      (fun ((kind, path_id), h) ->
+        let open Fbufs_trace.Histogram in
+        let cells =
+          lcell ~width:24 kind
+          :: List.map (cell ~width:9)
+               [
+                 (if path_id < 0 then "-" else string_of_int path_id);
+                 string_of_int (count h);
+                 fmt_us (percentile h 50.0);
+                 fmt_us (percentile h 90.0);
+                 fmt_us (percentile h 99.0);
+                 fmt_us (max_value h);
+                 fmt_us (sum h);
+               ]
+        in
+        print_endline (String.concat "  " cells))
+      rows
+  end
+
 let print_series_table ~x_label series =
   print_columns (x_label :: List.map (fun s -> s.name) series);
   let xs =

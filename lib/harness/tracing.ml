@@ -1,0 +1,51 @@
+open Fbufs_sim
+module Trace = Fbufs_trace.Trace
+module Chrome = Fbufs_trace.Chrome
+
+(* Full experiment sweeps emit tens of millions of events; a bounded
+   buffer keeps exports loadable in a viewer while the online histograms
+   (fed before the capacity check) still see every span. *)
+let default_capacity = 2_000_000
+
+let with_trace ?chrome ?jsonl ?(summary = true) ?(capacity = default_capacity)
+    f =
+  match (chrome, jsonl) with
+  | None, None -> f ()
+  | _ ->
+      let tr = Trace.create ~capacity () in
+      let saved = !Machine.default_trace in
+      Machine.default_trace := Some tr;
+      let result =
+        Fun.protect
+          ~finally:(fun () -> Machine.default_trace := saved)
+          f
+      in
+      let write what writer path =
+        match writer tr path with
+        | () ->
+            Printf.printf "trace: %d events -> %s (%s)\n"
+              (Trace.event_count tr) path what
+        | exception Sys_error msg ->
+            Printf.eprintf "trace: cannot write %s: %s\n" path msg
+      in
+      Option.iter (write "chrome://tracing, Perfetto" Chrome.write_file) chrome;
+      Option.iter (write "jsonl" Chrome.write_jsonl) jsonl;
+      if Trace.dropped tr > 0 then
+        Printf.printf "trace: %d events dropped (buffer capacity)\n"
+          (Trace.dropped tr);
+      if summary then Report.print_trace_summary tr;
+      result
+
+let run_workload ?(config = Exp_fig5.User_user) ?(bytes = 65536)
+    ?(uncached = false) ?pdu_size ?window ?nmsgs ?chrome ?jsonl () =
+  Report.print_title
+    (Printf.sprintf
+       "Traced end-to-end transfer: %s, %s fbufs, %d-byte messages"
+       (Exp_fig5.config_name config)
+       (if uncached then "uncached" else "cached/volatile")
+       bytes);
+  with_trace ?chrome ?jsonl (fun () ->
+      let p = Exp_fig5.run_one ~uncached ~config ~bytes ?pdu_size ?window ?nmsgs () in
+      Printf.printf
+        "throughput %.1f Mb/s, tx CPU load %.2f, rx CPU load %.2f\n"
+        p.Exp_fig5.mbps p.Exp_fig5.tx_cpu_load p.Exp_fig5.rx_cpu_load)

@@ -1,0 +1,40 @@
+(** Harness-side tracing glue.
+
+    The experiment drivers build their own testbeds, so tracing is enabled
+    by installing a sink in {!Fbufs_sim.Machine.default_trace} for the
+    duration of a run: every machine created inside picks it up. With no
+    output file requested nothing is installed and the run is untouched —
+    report output is byte-identical to an untraced run. *)
+
+val with_trace :
+  ?chrome:string ->
+  ?jsonl:string ->
+  ?summary:bool ->
+  ?capacity:int ->
+  (unit -> 'a) ->
+  'a
+(** [with_trace ?chrome ?jsonl f] runs [f]; when at least one output file
+    is given, machines created during the run share one fresh trace sink,
+    and afterwards the Chrome JSON and/or JSONL exports are written, the
+    per-path latency summary is printed ([summary] defaults to [true]),
+    and a one-line note says where the trace went. The previous
+    [default_trace] is restored even if [f] raises. [capacity] bounds the
+    buffered event count (default 2M — full sweeps emit far more; dropped
+    events are reported, and the latency summary still covers them). *)
+
+val run_workload :
+  ?config:Exp_fig5.config ->
+  ?bytes:int ->
+  ?uncached:bool ->
+  ?pdu_size:int ->
+  ?window:int ->
+  ?nmsgs:int ->
+  ?chrome:string ->
+  ?jsonl:string ->
+  unit ->
+  unit
+(** The [trace] subcommand: one fully instrumented end-to-end UDP/IP
+    transfer run (the Figure 5/6 testbed at a single message size,
+    default 64 KB user-user cached) with tracing on, dumping the Chrome
+    trace / JSONL and printing throughput, CPU loads and the per-path
+    latency table. *)

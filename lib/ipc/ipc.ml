@@ -61,8 +61,12 @@ let process_pending c =
 
 let explicit_flush c =
   if c.pending <> [] then begin
-    Machine.charge c.m c.m.cost.Cost_model.ipc_call;
-    Machine.charge c.m c.m.cost.Cost_model.ipc_reply;
+    if Machine.tracing c.m then
+      Machine.trace_instant c.m ~domain:c.dst.Pd.name
+        ~args:[ ("pending", Fbufs_trace.Trace.Int (List.length c.pending)) ]
+        "ipc.dealloc_flush";
+    Machine.charge ~kind:"ipc.call" c.m c.m.cost.Cost_model.ipc_call;
+    Machine.charge ~kind:"ipc.reply" c.m c.m.cost.Cost_model.ipc_reply;
     Stats.incr c.m.Machine.stats "ipc.explicit_dealloc_msg";
     process_pending c
   end
@@ -94,17 +98,36 @@ let crossing_costs c =
         cost.Cost_model.urpc_reply,
         cost.Cost_model.urpc_tlb_footprint )
 
+let facility_name = function Mach -> "mach" | Urpc -> "urpc"
+
 let call c msg ~handler =
   let cost = c.m.Machine.cost in
   let call_cost, reply_cost, footprint = crossing_costs c in
-  Machine.charge c.m call_cost;
+  (* One span covers the whole crossing: control transfer in, transfer of
+     the message's buffers, handler execution, and the reply. *)
+  let sp =
+    if Machine.tracing c.m then
+      Machine.span_begin c.m ~domain:c.src.Pd.name
+        ~args:
+          [
+            ("dst", Fbufs_trace.Trace.Str c.dst.Pd.name);
+            ("facility", Fbufs_trace.Trace.Str (facility_name c.facility));
+            ( "mode",
+              Fbufs_trace.Trace.Str
+                (match c.mode with Rebuild -> "rebuild" | Integrated -> "integrated")
+            );
+          ]
+        "ipc.call"
+    else 0
+  in
+  Machine.charge ~kind:"ipc.crossing" c.m call_cost;
   Stats.incr c.m.Machine.stats "ipc.call";
   (match c.mode with
   | Rebuild ->
       (* Flatten to an fbuf list, marshal one descriptor per buffer, and
          let the receiving side reconstruct the aggregate. *)
       let fbs = Fbufs_msg.Msg.fbufs msg in
-      Machine.charge c.m
+      Machine.charge ~kind:"ipc.marshal" c.m
         (float_of_int (List.length fbs) *. cost.Cost_model.ipc_per_fbuf);
       List.iter (fun fb -> Transfer.send fb ~src:c.src ~dst:c.dst) fbs;
       Machine.domain_crossing_tlb_pressure ~entries:footprint c.m;
@@ -118,7 +141,7 @@ let call c msg ~handler =
       let root_vaddr = Fbufs_msg.Integrated.serialize msg ~meta ~as_:c.src in
       (* Only the root reference is marshalled; the kernel inspects the
          aggregate to find the buffers to transfer. *)
-      Machine.charge c.m cost.Cost_model.ipc_per_fbuf;
+      Machine.charge ~kind:"ipc.marshal" c.m cost.Cost_model.ipc_per_fbuf;
       let reachable =
         Fbufs_msg.Integrated.reachable_fbufs c.region ~as_:c.src ~root_vaddr
       in
@@ -134,10 +157,15 @@ let call c msg ~handler =
       Transfer.free meta ~dom:c.src);
   (* Reply path: control transfer back, carrying deferred deallocation
      notices for free. *)
-  Machine.charge c.m reply_cost;
+  Machine.charge ~kind:"ipc.crossing" c.m reply_cost;
   Machine.domain_crossing_tlb_pressure ~entries:footprint c.m;
   if c.pending <> [] then begin
     Stats.add c.m.Machine.stats "ipc.dealloc_piggybacked"
       (List.length c.pending);
+    if Machine.tracing c.m then
+      Machine.trace_instant c.m ~domain:c.dst.Pd.name
+        ~args:[ ("pending", Fbufs_trace.Trace.Int (List.length c.pending)) ]
+        "ipc.dealloc_piggyback";
     process_pending c
-  end
+  end;
+  Machine.span_end c.m sp

@@ -174,17 +174,30 @@ let scatter_at t (fb : Fbuf.t) ~off data =
 
 let dma_scatter t fb data = scatter_at t fb ~off:0 data
 
-let deliver t ~vci data =
+let deliver t ~flight ~vci data =
   let now = Des.now t.des in
   Machine.elapse_to t.m now;
-  Machine.charge t.m t.m.cost.Cost_model.interrupt;
-  Machine.charge t.m t.m.cost.Cost_model.driver_op;
+  Machine.charge ~kind:"interrupt" t.m t.m.cost.Cost_model.interrupt;
+  Machine.charge ~kind:"driver.op" t.m t.m.cost.Cost_model.driver_op;
   Stats.incr t.m.stats "osiris.rx_pdu";
   t.pdus_received <- t.pdus_received + 1;
   let len = Bytes.length data in
   let ps = t.m.Machine.cost.Cost_model.page_size in
   let npages = max 1 ((len + ps - 1) / ps) in
   let cached_path = Hashtbl.mem t.vci_allocs vci in
+  if Machine.tracing t.m then begin
+    let open Fbufs_trace.Trace in
+    Machine.trace_instant t.m
+      ~args:
+        [
+          ("vci", Int vci);
+          ("bytes", Int len);
+          ("cached", Str (if cached_path then "yes" else "no"));
+        ]
+      "osiris.rx";
+    if flight <> 0 then
+      Machine.async_end t.m ~id:flight ~args:[ ("vci", Int vci) ] "osiris.pdu"
+  end;
   if cached_path then Hashtbl.replace t.vci_last_use vci now;
   let alloc =
     match Hashtbl.find_opt t.vci_allocs vci with
@@ -201,7 +214,7 @@ let deliver t ~vci data =
   if not t.hw_demux then begin
     t.sw_demux_copies <- t.sw_demux_copies + 1;
     Stats.incr t.m.stats "osiris.sw_demux_copy";
-    Machine.charge t.m
+    Machine.charge ~kind:"osiris.sw_demux_copy" t.m
       (float_of_int len *. t.m.cost.Cost_model.copy_per_byte)
   end;
   dma_scatter t fb data;
@@ -211,7 +224,7 @@ let deliver t ~vci data =
      within one I/O data path and never pay this. *)
   let slack = (npages * ps) - len in
   if (not cached_path) && slack > 0 then begin
-    Machine.charge t.m
+    Machine.charge ~kind:"osiris.slack_zero" t.m
       (float_of_int slack /. float_of_int ps
       *. t.m.cost.Cost_model.page_zero);
     Stats.incr t.m.stats "osiris.slack_zeroed";
@@ -230,7 +243,7 @@ let send_pdu t ~vci msg =
     | Some p -> p
     | None -> invalid_arg "Osiris.send_pdu: adapter is not connected"
   in
-  Machine.charge t.m t.m.cost.Cost_model.driver_op;
+  Machine.charge ~kind:"driver.op" t.m t.m.cost.Cost_model.driver_op;
   Stats.incr t.m.stats "osiris.tx_pdu";
   let data = dma_gather t msg in
   let cells =
@@ -243,12 +256,37 @@ let send_pdu t ~vci msg =
   let finish = start +. tx_time in
   t.link_free_at <- finish;
   let propagation = 1.0 in
+  (* The flight id links this tx to the delivery on the peer machine; ids
+     are only consumed when tracing so untraced runs are unperturbed. *)
+  let flight =
+    if Machine.tracing t.m then begin
+      let id = Machine.fresh_id t.m in
+      let open Fbufs_trace.Trace in
+      Machine.trace_instant t.m
+        ~args:
+          [
+            ("vci", Int vci);
+            ("bytes", Int (Bytes.length data));
+            ("cells", Int cells);
+          ]
+        "osiris.tx";
+      Machine.async_begin t.m ~id ~args:[ ("vci", Int vci) ] "osiris.pdu";
+      id
+    end
+    else 0
+  in
   if t.loss_rate > 0.0 && Rng.float t.m.rng 1.0 < t.loss_rate then begin
     (* The cells occupy the wire but the frame is lost (CRC failure at the
        receiving adapter); nothing is delivered. *)
     t.pdus_dropped <- t.pdus_dropped + 1;
-    Stats.incr t.m.stats "osiris.pdu_dropped"
+    Stats.incr t.m.stats "osiris.pdu_dropped";
+    if Machine.tracing t.m then begin
+      Machine.trace_instant t.m
+        ~args:[ ("vci", Fbufs_trace.Trace.Int vci) ]
+        "osiris.pdu_dropped";
+      Machine.async_end t.m ~id:flight "osiris.pdu"
+    end
   end
   else
     Des.schedule t.des (finish +. propagation) (fun () ->
-        deliver peer ~vci data)
+        deliver peer ~flight ~vci data)

@@ -1,3 +1,5 @@
+module Trace = Fbufs_trace.Trace
+
 type t = {
   name : string;
   clock : Clock.t;
@@ -9,10 +11,13 @@ type t = {
   mutable busy_us : float;
   mutable next_asid : int;
   mutable next_id : int;
+  mutable trace : Trace.t option;
 }
 
+let default_trace : Trace.t option ref = ref None
+
 let create ?(name = "host") ?(cost = Cost_model.decstation_5000_200)
-    ?(nframes = 4096) ?(tlb_entries = 64) ?(seed = 42) () =
+    ?(nframes = 4096) ?(tlb_entries = 64) ?(seed = 42) ?trace () =
   let rng = Rng.create seed in
   {
     name;
@@ -25,15 +30,71 @@ let create ?(name = "host") ?(cost = Cost_model.decstation_5000_200)
     busy_us = 0.0;
     next_asid = 1;
     next_id = 1;
+    trace = (match trace with Some _ as t -> t | None -> !default_trace);
   }
 
-let charge m us =
+let set_trace m tr = m.trace <- tr
+let tracing m = m.trace <> None
+
+let charge ?kind m us =
+  (match (m.trace, kind) with
+  | Some tr, Some k ->
+      Trace.complete tr ~ts_us:(Clock.now m.clock) ~dur_us:us ~machine:m.name
+        k
+  | _ -> ());
   Clock.advance m.clock us;
   m.busy_us <- m.busy_us +. us
 
-let charge_n m n us = charge m (float_of_int n *. us)
+let charge_n ?kind m n us = charge ?kind m (float_of_int n *. us)
 
-let elapse_to m t = Clock.advance_to m.clock t
+let trace_instant m ?domain ?path_id ?args kind =
+  match m.trace with
+  | None -> ()
+  | Some tr ->
+      Trace.instant tr ~ts_us:(Clock.now m.clock) ~machine:m.name ?domain
+        ?path_id ?args kind
+
+let span_begin m ?domain ?path_id ?args kind =
+  match m.trace with
+  | None -> 0
+  | Some tr ->
+      Trace.begin_span tr ~ts_us:(Clock.now m.clock) ~machine:m.name ?domain
+        ?path_id ?args kind
+
+let span_end m ?args id =
+  match m.trace with
+  | None -> ()
+  | Some tr -> if id <> 0 then Trace.end_span tr ~ts_us:(Clock.now m.clock) ?args id
+
+let with_span m ?domain ?path_id kind f =
+  match m.trace with
+  | None -> f ()
+  | Some _ ->
+      let id = span_begin m ?domain ?path_id kind in
+      Fun.protect ~finally:(fun () -> span_end m id) f
+
+let async_begin m ?domain ?path_id ?args ~id kind =
+  match m.trace with
+  | None -> ()
+  | Some tr ->
+      Trace.async_begin tr ~ts_us:(Clock.now m.clock) ~machine:m.name ?domain
+        ?path_id ?args ~id kind
+
+let async_end m ?domain ?path_id ?args ~id kind =
+  match m.trace with
+  | None -> ()
+  | Some tr ->
+      Trace.async_end tr ~ts_us:(Clock.now m.clock) ~machine:m.name ?domain
+        ?path_id ?args ~id kind
+
+let elapse_to ?kind m t =
+  (match (m.trace, kind) with
+  | Some tr, Some k ->
+      let now = Clock.now m.clock in
+      if t > now then
+        Trace.complete tr ~ts_us:now ~dur_us:(t -. now) ~machine:m.name k
+  | _ -> ());
+  Clock.advance_to m.clock t
 
 let now m = Clock.now m.clock
 
@@ -65,6 +126,9 @@ let domain_crossing_tlb_pressure ?entries m =
     | Some n -> n
     | None -> m.cost.Cost_model.ipc_tlb_footprint
   in
+  if tracing m then
+    trace_instant m ~args:[ ("entries", Fbufs_trace.Trace.Int n) ]
+      "tlb.pressure";
   for i = 0 to n - 1 do
     Tlb.insert m.tlb ~asid:0 ~vpn:(0x70000 + (i * 7) + Rng.int m.rng 5)
       ~writable:false

@@ -16,7 +16,14 @@ type t = {
   mutable busy_us : float;
   mutable next_asid : int;
   mutable next_id : int;
+  mutable trace : Fbufs_trace.Trace.t option;
 }
+
+val default_trace : Fbufs_trace.Trace.t option ref
+(** Sink installed on machines subsequently built by {!create} when no
+    explicit [?trace] is given. Lets a harness observe machines it does
+    not construct itself (the experiment drivers build their own
+    testbeds); [None] — the default — disables tracing everywhere. *)
 
 val create :
   ?name:string ->
@@ -24,20 +31,77 @@ val create :
   ?nframes:int ->
   ?tlb_entries:int ->
   ?seed:int ->
+  ?trace:Fbufs_trace.Trace.t ->
   unit ->
   t
 (** Defaults: DecStation 5000/200 cost model, 4096 frames (16 MB), 64 TLB
-    entries, seed 42. *)
+    entries, seed 42, trace sink [!default_trace]. *)
 
-val charge : t -> float -> unit
+val set_trace : t -> Fbufs_trace.Trace.t option -> unit
+
+val tracing : t -> bool
+(** Whether a sink is attached. Instrumentation sites that build argument
+    lists must test this first so a disabled trace costs one pointer
+    comparison and no allocation. *)
+
+val charge : ?kind:string -> t -> float -> unit
 (** Consume [us] microseconds of CPU time: advances the clock and the busy
-    accumulator. *)
+    accumulator. With [?kind] and a trace attached, additionally emits a
+    [Complete] slice of that duration — this is how every individual cost
+    in the model becomes visible on the timeline. Tracing never alters the
+    charge itself. *)
 
-val charge_n : t -> int -> float -> unit
+val charge_n : ?kind:string -> t -> int -> float -> unit
 (** [charge_n m n us] charges [n] repetitions of a per-item cost. *)
 
-val elapse_to : t -> float -> unit
-(** Wait (idle) until an absolute simulated time; no busy time accrues. *)
+val elapse_to : ?kind:string -> t -> float -> unit
+(** Wait (idle) until an absolute simulated time; no busy time accrues.
+    With [?kind], the idle interval is emitted as a [Complete] slice. *)
+
+val trace_instant :
+  t ->
+  ?domain:string ->
+  ?path_id:int ->
+  ?args:(string * Fbufs_trace.Trace.arg) list ->
+  string ->
+  unit
+(** Emit an instant event stamped with the machine's current simulated
+    time. No-op without a sink (guard arg construction with {!tracing}). *)
+
+val span_begin :
+  t ->
+  ?domain:string ->
+  ?path_id:int ->
+  ?args:(string * Fbufs_trace.Trace.arg) list ->
+  string ->
+  int
+(** Open a nested span; returns 0 (and does nothing) without a sink, and
+    {!span_end} ignores id 0, so begin/end pairs are safe unguarded. *)
+
+val span_end :
+  t -> ?args:(string * Fbufs_trace.Trace.arg) list -> int -> unit
+
+val with_span : t -> ?domain:string -> ?path_id:int -> string -> (unit -> 'a) -> 'a
+
+val async_begin :
+  t ->
+  ?domain:string ->
+  ?path_id:int ->
+  ?args:(string * Fbufs_trace.Trace.arg) list ->
+  id:int ->
+  string ->
+  unit
+(** Open/close async spans correlated by [(kind, id)] — they may cross
+    domains and machines (fbuf lifetime, PDU flight). *)
+
+val async_end :
+  t ->
+  ?domain:string ->
+  ?path_id:int ->
+  ?args:(string * Fbufs_trace.Trace.arg) list ->
+  id:int ->
+  string ->
+  unit
 
 val now : t -> float
 

@@ -29,6 +29,23 @@ let to_list t =
   Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+let snapshot = to_list
+
+let value snap name =
+  match List.assoc_opt name snap with Some v -> v | None -> 0.0
+
+let diff ~before ~after =
+  let keys =
+    List.sort_uniq String.compare (List.map fst before @ List.map fst after)
+  in
+  List.filter_map
+    (fun k ->
+      let d = value after k -. value before k in
+      if d = 0.0 then None else Some (k, d))
+    keys
+
+let since t before = diff ~before ~after:(snapshot t)
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>";
   List.iter

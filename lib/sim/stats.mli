@@ -23,4 +23,21 @@ val get_float : t -> string -> float
 val to_list : t -> (string * float) list
 (** All accumulators, sorted by name. Integer counters appear as floats. *)
 
+val snapshot : t -> (string * float) list
+(** Alias of {!to_list}: a point-in-time copy for later {!diff}/{!since},
+    so experiments assert on what an operation did rather than on absolute
+    totals that depend on setup history. *)
+
+val value : (string * float) list -> string -> float
+(** Counter value in a snapshot or delta; 0 when absent. *)
+
+val diff :
+  before:(string * float) list ->
+  after:(string * float) list ->
+  (string * float) list
+(** Per-counter [after - before], sorted by name, zero deltas omitted. *)
+
+val since : t -> (string * float) list -> (string * float) list
+(** [since t before = diff ~before ~after:(snapshot t)]. *)
+
 val pp : Format.formatter -> t -> unit

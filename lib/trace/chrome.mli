@@ -1,0 +1,21 @@
+(** Exporters: Chrome [trace_event] JSON and line-oriented JSONL.
+
+    The Chrome format loads directly in [chrome://tracing] and Perfetto.
+    Simulated microseconds map one-to-one onto the format's native [ts]
+    unit, so the timeline reads in real simulated time. Each simulated
+    machine becomes a process (pid), each protection domain a thread (tid)
+    within it; machine-level events (cost charges, interrupts) land on a
+    dedicated tid 1 lane per machine. *)
+
+val to_json : Trace.t -> Json.t
+(** The whole trace as [{"traceEvents": [...], ...}], including
+    [process_name]/[thread_name] metadata events. *)
+
+val to_string : Trace.t -> string
+
+val write_file : Trace.t -> string -> unit
+
+val write_jsonl : Trace.t -> string -> unit
+(** One raw event per line:
+    [{"ts":..,"machine":..,"domain":..,"path":..,"kind":..,"ph":..,...}].
+    Suited to grep/jq-style processing rather than timeline viewers. *)

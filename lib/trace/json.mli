@@ -1,0 +1,30 @@
+(** Minimal JSON tree, printer and parser.
+
+    The tracing exporters must produce Chrome [trace_event] files without
+    pulling a JSON dependency into the build, and the test suite must be
+    able to parse what they wrote back into a tree to validate it. Both
+    sides live here so the round trip is exercised against one grammar. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+(** Compact serialization. Non-finite floats are emitted as [null] (JSON
+    has no representation for them). *)
+
+val to_string : t -> string
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Parse a complete JSON document; trailing garbage is an error. Raises
+    {!Parse_error}. Numbers without [.], [e] or [E] parse as [Int]. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on missing field or non-object. *)

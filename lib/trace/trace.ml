@@ -1,0 +1,219 @@
+type arg = Str of string | Int of int | Float of float
+
+type phase =
+  | Instant
+  | Complete of float
+  | Span_begin
+  | Span_end
+  | Async_begin
+  | Async_end
+
+type event = {
+  ts_us : float;
+  machine : string;
+  domain : string;
+  path_id : int;
+  kind : string;
+  phase : phase;
+  span : int;
+  args : (string * arg) list;
+}
+
+type open_span = {
+  o_ts : float;
+  o_machine : string;
+  o_domain : string;
+  o_path : int;
+  o_kind : string;
+}
+
+type t = {
+  mutable buf : event array;
+  mutable len : int;
+  capacity : int option;
+  mutable dropped : int;
+  mutable next_span : int;
+  spans : (int, open_span) Hashtbl.t;
+  asyncs : (string * int, float * int) Hashtbl.t; (* start ts, path_id *)
+  hist : (string * int, Histogram.t) Hashtbl.t;
+}
+
+let dummy_event =
+  {
+    ts_us = 0.0;
+    machine = "";
+    domain = "";
+    path_id = -1;
+    kind = "";
+    phase = Instant;
+    span = 0;
+    args = [];
+  }
+
+let create ?capacity () =
+  (match capacity with
+  | Some c when c <= 0 -> invalid_arg "Trace.create: capacity must be positive"
+  | _ -> ());
+  {
+    buf = Array.make 1024 dummy_event;
+    len = 0;
+    capacity;
+    dropped = 0;
+    next_span = 1;
+    spans = Hashtbl.create 16;
+    asyncs = Hashtbl.create 64;
+    hist = Hashtbl.create 64;
+  }
+
+let clear t =
+  t.len <- 0;
+  t.dropped <- 0;
+  Hashtbl.reset t.spans;
+  Hashtbl.reset t.asyncs;
+  Hashtbl.reset t.hist
+
+let event_count t = t.len
+let dropped t = t.dropped
+let open_spans t = Hashtbl.length t.spans
+
+let events t = Array.to_list (Array.sub t.buf 0 t.len)
+
+let push t ev =
+  match t.capacity with
+  | Some c when t.len >= c -> t.dropped <- t.dropped + 1
+  | _ ->
+      if t.len = Array.length t.buf then begin
+        let bigger = Array.make (2 * t.len) dummy_event in
+        Array.blit t.buf 0 bigger 0 t.len;
+        t.buf <- bigger
+      end;
+      t.buf.(t.len) <- ev;
+      t.len <- t.len + 1
+
+let record_latency t ~kind ~path_id dur =
+  let key = (kind, path_id) in
+  let h =
+    match Hashtbl.find_opt t.hist key with
+    | Some h -> h
+    | None ->
+        let h = Histogram.create () in
+        Hashtbl.add t.hist key h;
+        h
+  in
+  Histogram.add h dur
+
+let instant t ~ts_us ~machine ?(domain = "") ?(path_id = -1) ?(args = []) kind
+    =
+  push t
+    { ts_us; machine; domain; path_id; kind; phase = Instant; span = 0; args }
+
+let complete t ~ts_us ~dur_us ~machine ?(domain = "") ?(path_id = -1)
+    ?(args = []) kind =
+  push t
+    {
+      ts_us;
+      machine;
+      domain;
+      path_id;
+      kind;
+      phase = Complete dur_us;
+      span = 0;
+      args;
+    };
+  record_latency t ~kind ~path_id dur_us
+
+let begin_span t ~ts_us ~machine ?(domain = "") ?(path_id = -1) ?(args = [])
+    kind =
+  let id = t.next_span in
+  t.next_span <- id + 1;
+  Hashtbl.replace t.spans id
+    {
+      o_ts = ts_us;
+      o_machine = machine;
+      o_domain = domain;
+      o_path = path_id;
+      o_kind = kind;
+    };
+  push t
+    {
+      ts_us;
+      machine;
+      domain;
+      path_id;
+      kind;
+      phase = Span_begin;
+      span = id;
+      args;
+    };
+  id
+
+let end_span t ~ts_us ?(args = []) id =
+  match Hashtbl.find_opt t.spans id with
+  | None -> ()
+  | Some o ->
+      Hashtbl.remove t.spans id;
+      push t
+        {
+          ts_us;
+          machine = o.o_machine;
+          domain = o.o_domain;
+          path_id = o.o_path;
+          kind = o.o_kind;
+          phase = Span_end;
+          span = id;
+          args;
+        };
+      record_latency t ~kind:o.o_kind ~path_id:o.o_path (ts_us -. o.o_ts)
+
+let async_begin t ~ts_us ~machine ?(domain = "") ?(path_id = -1) ?(args = [])
+    ~id kind =
+  Hashtbl.replace t.asyncs (kind, id) (ts_us, path_id);
+  push t
+    {
+      ts_us;
+      machine;
+      domain;
+      path_id;
+      kind;
+      phase = Async_begin;
+      span = id;
+      args;
+    }
+
+let async_end t ~ts_us ~machine ?(domain = "") ?(path_id = -1) ?(args = [])
+    ~id kind =
+  let path_id =
+    match Hashtbl.find_opt t.asyncs (kind, id) with
+    | Some (start, begin_path) ->
+        Hashtbl.remove t.asyncs (kind, id);
+        record_latency t ~kind ~path_id:begin_path (ts_us -. start);
+        begin_path
+    | None -> path_id
+  in
+  push t
+    {
+      ts_us;
+      machine;
+      domain;
+      path_id;
+      kind;
+      phase = Async_end;
+      span = id;
+      args;
+    }
+
+let summary t =
+  Hashtbl.fold (fun k h acc -> (k, h) :: acc) t.hist []
+  |> List.sort (fun ((ka, pa), _) ((kb, pb), _) ->
+         match String.compare ka kb with 0 -> compare pa pb | c -> c)
+
+let kind_summary t =
+  let merged = Hashtbl.create 32 in
+  List.iter
+    (fun ((kind, _), h) ->
+      match Hashtbl.find_opt merged kind with
+      | Some prev -> Hashtbl.replace merged kind (Histogram.merge prev h)
+      | None -> Hashtbl.replace merged kind h)
+    (summary t);
+  Hashtbl.fold (fun k h acc -> (k, h) :: acc) merged []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -35,7 +35,7 @@ let translate (dom : Pd.t) ~vaddr ~write =
                  missed; treat as fatal mechanism bug. *)
               failwith "Access.translate: TLB/pmap inconsistency")
       | Tlb.Miss -> (
-          Machine.charge m m.cost.Cost_model.tlb_refill;
+          Machine.charge ~kind:"tlb.refill" m m.cost.Cost_model.tlb_refill;
           Stats.incr m.stats "tlb.miss";
           match Pmap.lookup pmap ~vpn with
           | Some e when (not write) || e.Pmap.writable ->
@@ -45,7 +45,7 @@ let translate (dom : Pd.t) ~vaddr ~write =
               handle_fault dom ~vpn ~write ~vaddr;
               attempt (depth + 1))
       | Tlb.Hit_readonly -> (
-          Machine.charge m m.cost.Cost_model.tlb_mod_fault;
+          Machine.charge ~kind:"tlb.mod_fault" m m.cost.Cost_model.tlb_mod_fault;
           Stats.incr m.stats "tlb.mod_fault";
           match Pmap.lookup pmap ~vpn with
           | Some e when e.Pmap.writable ->

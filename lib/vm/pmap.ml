@@ -10,8 +10,10 @@ let asid t = t.asid
 
 let lookup t ~vpn = Hashtbl.find_opt t.table vpn
 
+(* Each mutation is visible on the trace timeline as the Complete slice
+   its [charge ~kind] emits; no separate instant is needed. *)
 let enter t ~vpn ~frame ~writable =
-  Machine.charge t.m t.m.cost.Cost_model.pmap_enter;
+  Machine.charge ~kind:"pmap.enter" t.m t.m.cost.Cost_model.pmap_enter;
   Stats.incr t.m.stats "pmap.enter";
   Hashtbl.replace t.table vpn { frame; writable }
 
@@ -19,11 +21,12 @@ let protect t ~vpn ~writable =
   match Hashtbl.find_opt t.table vpn with
   | None -> invalid_arg "Pmap.protect: no entry"
   | Some e ->
-      Machine.charge t.m t.m.cost.Cost_model.pmap_protect;
+      Machine.charge ~kind:"pmap.protect" t.m t.m.cost.Cost_model.pmap_protect;
       Stats.incr t.m.stats "pmap.protect";
       if e.writable && not writable then begin
         (* Downgrade: a writable translation may be cached; shoot it down. *)
-        Machine.charge t.m t.m.cost.Cost_model.tlb_shootdown;
+        Machine.charge ~kind:"tlb.shootdown" t.m
+          t.m.cost.Cost_model.tlb_shootdown;
         Stats.incr t.m.stats "tlb.shootdown";
         Tlb.invalidate t.m.tlb ~asid:t.asid ~vpn
       end;
@@ -33,9 +36,10 @@ let remove t ~vpn =
   match Hashtbl.find_opt t.table vpn with
   | None -> None
   | Some e ->
-      Machine.charge t.m t.m.cost.Cost_model.pmap_remove;
+      Machine.charge ~kind:"pmap.remove" t.m t.m.cost.Cost_model.pmap_remove;
       Stats.incr t.m.stats "pmap.remove";
-      Machine.charge t.m t.m.cost.Cost_model.tlb_shootdown;
+      Machine.charge ~kind:"tlb.shootdown" t.m
+        t.m.cost.Cost_model.tlb_shootdown;
       Stats.incr t.m.stats "tlb.shootdown";
       Tlb.invalidate t.m.tlb ~asid:t.asid ~vpn;
       Hashtbl.remove t.table vpn;

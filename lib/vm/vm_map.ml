@@ -36,11 +36,11 @@ let pmap t = t.pmap
 let machine t = t.m
 
 let charge_range_op t =
-  Machine.charge t.m t.m.cost.Cost_model.vm_range_op;
+  Machine.charge ~kind:"vm.range_op" t.m t.m.cost.Cost_model.vm_range_op;
   Stats.incr t.m.stats "vm.range_op"
 
 let charge_page_op t =
-  Machine.charge t.m t.m.cost.Cost_model.vm_page_op;
+  Machine.charge ~kind:"vm.page_op" t.m t.m.cost.Cost_model.vm_page_op;
   Stats.incr t.m.stats "vm.page_op"
 
 let reserve_private t ~npages =
@@ -158,23 +158,40 @@ let release_range t ~vpn ~npages = unmap t ~vpn ~npages ~free_frames:true
 
 type fault_result = Resolved | Violation
 
+let trace_fault t ~vpn ~write outcome =
+  if Machine.tracing t.m then
+    Machine.trace_instant t.m ~domain:t.name
+      ~args:
+        [
+          ("vpn", Fbufs_trace.Trace.Int vpn);
+          ("write", Fbufs_trace.Trace.Str (if write then "w" else "r"));
+          ("outcome", Fbufs_trace.Trace.Str outcome);
+        ]
+      "vm.fault"
+
 let fault t ~vpn ~write =
-  Machine.charge t.m t.m.cost.Cost_model.fault_trap;
+  Machine.charge ~kind:"vm.fault_trap" t.m t.m.cost.Cost_model.fault_trap;
   Stats.incr t.m.stats "vm.fault";
   match Hashtbl.find_opt t.table vpn with
-  | None -> Violation
+  | None ->
+      trace_fault t ~vpn ~write "violation";
+      Violation
   | Some e ->
       let need = if write then Prot.can_write e.prot else Prot.can_read e.prot in
-      if not need then Violation
+      if not need then begin
+        trace_fault t ~vpn ~write "violation";
+        Violation
+      end
       else begin
         charge_page_op t;
         (match e.frame with
         | None ->
             (* Zero-fill materialization: allocate and clear a frame. *)
             assert e.zero_fill;
-            Machine.charge t.m t.m.cost.Cost_model.page_alloc;
-            Machine.charge t.m t.m.cost.Cost_model.page_zero;
+            Machine.charge ~kind:"page.alloc" t.m t.m.cost.Cost_model.page_alloc;
+            Machine.charge ~kind:"page.zero" t.m t.m.cost.Cost_model.page_zero;
             Stats.incr t.m.stats "vm.zero_fill";
+            trace_fault t ~vpn ~write "zero_fill";
             let f = Phys_mem.alloc t.m.pmem in
             Phys_mem.zero t.m.pmem f;
             e.frame <- Some f;
@@ -184,16 +201,18 @@ let fault t ~vpn ~write =
             if Phys_mem.refcount t.m.pmem f = 1 then begin
               (* Sharing already collapsed: claim the frame in place. *)
               Stats.incr t.m.stats "vm.cow_claim";
+              trace_fault t ~vpn ~write "cow_claim";
               e.cow <- false;
               Pmap.enter t.pmap ~vpn ~frame:f ~writable:true
             end
             else begin
               (* Physical copy: the cost COW was supposed to avoid. *)
-              Machine.charge t.m t.m.cost.Cost_model.page_alloc;
-              Machine.charge t.m
+              Machine.charge ~kind:"page.alloc" t.m t.m.cost.Cost_model.page_alloc;
+              Machine.charge ~kind:"vm.cow_copy" t.m
                 (float_of_int t.m.cost.Cost_model.page_size
                 *. t.m.cost.Cost_model.copy_per_byte);
               Stats.incr t.m.stats "vm.cow_copy";
+              trace_fault t ~vpn ~write "cow_copy";
               let nf = Phys_mem.alloc t.m.pmem in
               Phys_mem.copy_frame t.m.pmem ~src:f ~dst:nf;
               Phys_mem.decref t.m.pmem f;
@@ -204,6 +223,7 @@ let fault t ~vpn ~write =
         | Some f ->
             (* Lazily invalidated or never-entered translation. COW pages
                are entered read-only so a later write faults again. *)
+            trace_fault t ~vpn ~write "refill";
             let writable = Prot.can_write e.prot && not e.cow in
             Pmap.enter t.pmap ~vpn ~frame:f ~writable);
         Resolved

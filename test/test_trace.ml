@@ -1,0 +1,334 @@
+(* Tests for the tracing facility: histogram math, span bookkeeping,
+   Chrome trace_event export round-tripped through the JSON parser, and
+   the zero-overhead-when-disabled invariant. *)
+
+open Fbufs_sim
+open Fbufs
+module Trace = Fbufs_trace.Trace
+module Histogram = Fbufs_trace.Histogram
+module Json = Fbufs_trace.Json
+module Chrome = Fbufs_trace.Chrome
+module Testbed = Fbufs_harness.Testbed
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Histogram                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_hist_exact_extrema () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 3.0; 1.0; 4.0; 1.0; 5.0; 9.0; 2.0; 6.0 ];
+  check Alcotest.int "count" 8 (Histogram.count h);
+  check (Alcotest.float 1e-9) "sum" 31.0 (Histogram.sum h);
+  check (Alcotest.float 1e-9) "min" 1.0 (Histogram.min_value h);
+  check (Alcotest.float 1e-9) "max" 9.0 (Histogram.max_value h)
+
+let test_hist_percentiles_known_inputs () =
+  let h = Histogram.create () in
+  for i = 1 to 100 do
+    Histogram.add h (float_of_int i)
+  done;
+  (* Buckets grow by 2^(1/8) (~9%); a reported percentile is an upper
+     bound within one bucket of the true order statistic. *)
+  let assert_close p truth =
+    let v = Histogram.percentile h p in
+    let name = Printf.sprintf "p%g in [truth, truth*1.09]" p in
+    Alcotest.(check bool) name true (v >= truth && v <= truth *. 1.09)
+  in
+  assert_close 50.0 50.0;
+  assert_close 90.0 90.0;
+  assert_close 99.0 99.0;
+  check (Alcotest.float 1e-9) "p100 is exact max" 100.0
+    (Histogram.percentile h 100.0);
+  check (Alcotest.float 1e-9) "p0 is exact min" 1.0
+    (Histogram.percentile h 0.0)
+
+let test_hist_single_sample () =
+  let h = Histogram.create () in
+  Histogram.add h 42.0;
+  List.iter
+    (fun p ->
+      check (Alcotest.float 1e-9)
+        (Printf.sprintf "p%g of single sample" p)
+        42.0
+        (Histogram.percentile h p))
+    [ 0.0; 50.0; 99.0; 100.0 ]
+
+let test_hist_empty_and_zero () =
+  let h = Histogram.create () in
+  check (Alcotest.float 1e-9) "empty percentile" 0.0
+    (Histogram.percentile h 50.0);
+  check (Alcotest.float 1e-9) "empty mean" 0.0 (Histogram.mean h);
+  Histogram.add h 0.0;
+  Histogram.add h (-3.0) (* clamped to zero *);
+  check Alcotest.int "zero samples counted" 2 (Histogram.count h);
+  check (Alcotest.float 1e-9) "all-zero percentile" 0.0
+    (Histogram.percentile h 99.0)
+
+let test_hist_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  List.iter (Histogram.add a) [ 1.0; 2.0 ];
+  List.iter (Histogram.add b) [ 100.0 ];
+  let m = Histogram.merge a b in
+  check Alcotest.int "merged count" 3 (Histogram.count m);
+  check (Alcotest.float 1e-9) "merged min" 1.0 (Histogram.min_value m);
+  check (Alcotest.float 1e-9) "merged max" 100.0 (Histogram.max_value m);
+  check Alcotest.int "merge does not mutate" 2 (Histogram.count a)
+
+(* ------------------------------------------------------------------ *)
+(* Spans and event bookkeeping                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  let tr = Trace.create () in
+  let outer = Trace.begin_span tr ~ts_us:0.0 ~machine:"m" "outer" in
+  let inner = Trace.begin_span tr ~ts_us:1.0 ~machine:"m" "inner" in
+  check Alcotest.int "two open spans" 2 (Trace.open_spans tr);
+  Trace.end_span tr ~ts_us:3.0 inner;
+  Trace.end_span tr ~ts_us:10.0 outer;
+  check Alcotest.int "all spans closed" 0 (Trace.open_spans tr);
+  (match List.map (fun (e : Trace.event) -> (e.kind, e.phase)) (Trace.events tr) with
+  | [
+   ("outer", Trace.Span_begin);
+   ("inner", Trace.Span_begin);
+   ("inner", Trace.Span_end);
+   ("outer", Trace.Span_end);
+  ] ->
+      ()
+  | evs ->
+      Alcotest.failf "unexpected event sequence (%d events)" (List.length evs));
+  (* Each closed span fed its duration to the per-kind histogram. *)
+  let dur kind =
+    match List.assoc_opt kind (Trace.kind_summary tr) with
+    | Some h -> Histogram.max_value h
+    | None -> Alcotest.failf "no histogram for %s" kind
+  in
+  check (Alcotest.float 1e-9) "inner duration" 2.0 (dur "inner");
+  check (Alcotest.float 1e-9) "outer duration" 10.0 (dur "outer")
+
+let test_span_unknown_id_ignored () =
+  let tr = Trace.create () in
+  Trace.end_span tr ~ts_us:1.0 0;
+  Trace.end_span tr ~ts_us:1.0 999;
+  check Alcotest.int "no events from bogus ends" 0 (Trace.event_count tr)
+
+let test_async_span_crosses_machines () =
+  let tr = Trace.create () in
+  Trace.async_begin tr ~ts_us:5.0 ~machine:"tx" ~path_id:7 ~id:1 "pdu";
+  Trace.async_end tr ~ts_us:9.0 ~machine:"rx" ~id:1 "pdu";
+  let h = List.assoc ("pdu", 7) (Trace.summary tr) in
+  check Alcotest.int "one flight sample" 1 (Histogram.count h);
+  check (Alcotest.float 1e-9) "flight latency" 4.0 (Histogram.max_value h)
+
+let test_capacity_drops_events_not_samples () =
+  let tr = Trace.create ~capacity:2 () in
+  for i = 0 to 9 do
+    Trace.complete tr
+      ~ts_us:(float_of_int i)
+      ~dur_us:1.0 ~machine:"m" "op"
+  done;
+  check Alcotest.int "buffer capped" 2 (Trace.event_count tr);
+  check Alcotest.int "drops counted" 8 (Trace.dropped tr);
+  let h = List.assoc "op" (Trace.kind_summary tr) in
+  check Alcotest.int "histogram saw every sample" 10 (Histogram.count h)
+
+let test_machine_span_helpers () =
+  let m = Machine.create ~name:"host" () in
+  Alcotest.(check bool) "disabled by default" false (Machine.tracing m);
+  check Alcotest.int "span_begin returns 0 when disabled" 0
+    (Machine.span_begin m "nope");
+  Machine.span_end m 0 (* must not raise *);
+  let tr = Trace.create () in
+  Machine.set_trace m (Some tr);
+  Machine.with_span m "work" (fun () -> Machine.charge ~kind:"step" m 5.0);
+  check Alcotest.int "no leaked spans" 0 (Trace.open_spans tr);
+  let h = List.assoc "work" (Trace.kind_summary tr) in
+  check (Alcotest.float 1e-9) "span covers the charge" 5.0
+    (Histogram.max_value h)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome export round trip                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A small real workload with the sink installed the way the harness
+   does it: via [Machine.default_trace], picked up by [Machine.create]. *)
+let traced_workload () =
+  let tr = Trace.create () in
+  let saved = !Machine.default_trace in
+  Machine.default_trace := Some tr;
+  Fun.protect
+    ~finally:(fun () -> Machine.default_trace := saved)
+    (fun () ->
+      let tb = Testbed.create () in
+      let app = Testbed.user_domain tb "app" in
+      let recv = Testbed.user_domain tb "recv" in
+      let alloc =
+        Testbed.allocator tb ~domains:[ app; recv ] Fbuf.cached_volatile
+      in
+      for _ = 1 to 3 do
+        let fb = Allocator.alloc alloc ~npages:2 in
+        Fbuf_api.touch_write fb ~as_:app;
+        Transfer.send fb ~src:app ~dst:recv;
+        Fbuf_api.touch_read fb ~as_:recv;
+        Transfer.free fb ~dom:recv;
+        Transfer.free fb ~dom:app
+      done);
+  tr
+
+let test_chrome_json_roundtrip () =
+  let tr = traced_workload () in
+  Alcotest.(check bool) "workload emitted events" true
+    (Trace.event_count tr > 0);
+  let parsed = Json.parse (Chrome.to_string tr) in
+  let events =
+    match Json.member "traceEvents" parsed with
+    | Some (Json.List evs) -> evs
+    | _ -> Alcotest.fail "traceEvents missing or not a list"
+  in
+  Alcotest.(check bool) "non-empty traceEvents" true (events <> []);
+  let str_field name ev =
+    match Json.member name ev with
+    | Some (Json.String s) -> s
+    | _ -> Alcotest.failf "event without string %S field" name
+  in
+  let balance = Hashtbl.create 8 in
+  let metadata = ref 0 in
+  List.iter
+    (fun ev ->
+      let ph = str_field "ph" ev in
+      (match ph with
+      | "B" | "E" | "X" | "i" | "b" | "e" | "M" -> ()
+      | other -> Alcotest.failf "unknown phase %S" other);
+      if ph = "M" then incr metadata
+      else begin
+        (* Every non-metadata event carries a numeric timestamp. *)
+        (match Json.member "ts" ev with
+        | Some (Json.Float _ | Json.Int _) -> ()
+        | _ -> Alcotest.fail "event without numeric ts");
+        (* Async events need the correlation id Chrome requires. *)
+        if ph = "b" || ph = "e" then
+          if Json.member "id" ev = None || Json.member "cat" ev = None then
+            Alcotest.fail "async event without id/cat"
+      end;
+      (* B/E must balance per (pid, tid) lane. *)
+      if ph = "B" || ph = "E" then begin
+        let lane = (Json.member "pid" ev, Json.member "tid" ev) in
+        let d = try Hashtbl.find balance lane with Not_found -> 0 in
+        let d = d + if ph = "B" then 1 else -1 in
+        Alcotest.(check bool) "E never precedes B on a lane" true (d >= 0);
+        Hashtbl.replace balance lane d
+      end)
+    events;
+  Hashtbl.iter
+    (fun _ d -> check Alcotest.int "B/E balanced per lane" 0 d)
+    balance;
+  Alcotest.(check bool) "has process/thread metadata" true (!metadata > 0);
+  match Json.member "displayTimeUnit" parsed with
+  | Some (Json.String _) -> ()
+  | _ -> Alcotest.fail "missing displayTimeUnit"
+
+let test_jsonl_lines_parse () =
+  let tr = traced_workload () in
+  let path = Filename.temp_file "fbufs_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Chrome.write_jsonl tr path;
+      let ic = open_in path in
+      let lines = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr lines;
+           match Json.parse line with
+           | Json.Obj fields ->
+               Alcotest.(check bool) "line has kind" true
+                 (List.mem_assoc "kind" fields)
+           | _ -> Alcotest.fail "jsonl line is not an object"
+         done
+       with End_of_file -> close_in ic);
+      check Alcotest.int "one line per buffered event" (Trace.event_count tr)
+        !lines)
+
+(* ------------------------------------------------------------------ *)
+(* Zero overhead when disabled                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The same seeded workload must leave bit-identical statistics and
+   clock whether a sink is attached or not: tracing observes charges, it
+   never adds any. *)
+let run_workload ~trace () =
+  let saved = !Machine.default_trace in
+  Machine.default_trace := trace;
+  Fun.protect
+    ~finally:(fun () -> Machine.default_trace := saved)
+    (fun () ->
+      let tb = Testbed.create () in
+      let app = Testbed.user_domain tb "app" in
+      let recv = Testbed.user_domain tb "recv" in
+      let alloc =
+        Testbed.allocator tb ~domains:[ app; recv ] Fbuf.cached_volatile
+      in
+      for _ = 1 to 5 do
+        let fb = Allocator.alloc alloc ~npages:3 in
+        Fbuf_api.touch_write fb ~as_:app;
+        Transfer.send fb ~src:app ~dst:recv;
+        Fbuf_api.touch_read fb ~as_:recv;
+        Transfer.free fb ~dom:recv;
+        Transfer.free fb ~dom:app
+      done;
+      let m = tb.Testbed.m in
+      (Stats.snapshot m.Machine.stats, Machine.now m))
+
+let test_disabled_tracing_is_invisible () =
+  let stats_off, now_off = run_workload ~trace:None () in
+  let tr = Trace.create () in
+  let stats_on, now_on = run_workload ~trace:(Some tr) () in
+  Alcotest.(check bool) "traced run actually traced" true
+    (Trace.event_count tr > 0);
+  check (Alcotest.float 0.0) "identical clock" now_off now_on;
+  check
+    Alcotest.(list (pair string (Alcotest.float 0.0)))
+    "identical statistics" stats_off stats_on;
+  check
+    Alcotest.(list (pair string (Alcotest.float 0.0)))
+    "no residual delta" []
+    (Stats.diff ~before:stats_off ~after:stats_on)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "exact extrema" `Quick test_hist_exact_extrema;
+          Alcotest.test_case "percentiles on known inputs" `Quick
+            test_hist_percentiles_known_inputs;
+          Alcotest.test_case "single sample" `Quick test_hist_single_sample;
+          Alcotest.test_case "empty and zero" `Quick test_hist_empty_and_zero;
+          Alcotest.test_case "merge" `Quick test_hist_merge;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "unknown ids ignored" `Quick
+            test_span_unknown_id_ignored;
+          Alcotest.test_case "async crosses machines" `Quick
+            test_async_span_crosses_machines;
+          Alcotest.test_case "capacity drops events not samples" `Quick
+            test_capacity_drops_events_not_samples;
+          Alcotest.test_case "machine helpers" `Quick test_machine_span_helpers;
+        ] );
+      ( "chrome-export",
+        [
+          Alcotest.test_case "json round trip" `Quick test_chrome_json_roundtrip;
+          Alcotest.test_case "jsonl lines parse" `Quick test_jsonl_lines_parse;
+        ] );
+      ( "zero-overhead",
+        [
+          Alcotest.test_case "disabled tracing is invisible" `Quick
+            test_disabled_tracing_is_invisible;
+        ] );
+    ]
