@@ -1,4 +1,4 @@
-.PHONY: all build test check bench clean
+.PHONY: all build test check bench bench-json clean
 
 all: build
 
@@ -15,6 +15,12 @@ check:
 
 bench:
 	dune exec bench/main.exe
+
+# Full-quota benchmark run that also writes the machine-readable
+# trajectory (one JSON object per benchmark: name, ns_per_run, r_square,
+# date). BENCH_PR2.json is the committed snapshot for this PR.
+bench-json:
+	dune exec bench/main.exe -- --json BENCH_PR2.json
 
 clean:
 	dune clean

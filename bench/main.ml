@@ -121,7 +121,11 @@ let bench_integrated =
     (Staged.stage (fun () ->
          ignore (Fbufs_msg.Integrated.serialize msg ~meta ~as_:app)))
 
-let benchmarks () =
+(* ---------- run + report ---------------------------------------------- *)
+
+type row = { name : string; ns_per_run : float; r_square : float option }
+
+let run_benchmarks ~quick =
   let tests =
     [
       bench_table1;
@@ -139,27 +143,87 @@ let benchmarks () =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
   let instance = Toolkit.Instance.monotonic_clock in
+  let quota = if quick then 0.05 else 0.5 in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize:false ()
   in
-  print_endline "== Bechamel: real execution cost of the harness ==";
-  Printf.printf "%-52s  %14s\n" "benchmark" "ns/run";
-  print_endline (String.make 70 '-');
+  let rows = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg [ instance ] test in
       let analyzed = Analyze.all ols instance results in
       Hashtbl.iter
         (fun name ols_result ->
-          let est =
+          let ns =
             match Analyze.OLS.estimates ols_result with
-            | Some (e :: _) -> Printf.sprintf "%14.1f" e
-            | Some [] | None -> "             -"
+            | Some (e :: _) -> e
+            | Some [] | None -> nan
           in
-          Printf.printf "%-52s  %s\n" name est)
+          rows :=
+            { name; ns_per_run = ns; r_square = Analyze.OLS.r_square ols_result }
+            :: !rows)
         analyzed)
     tests;
+  (* Hashtbl.iter order is arbitrary; sort so the report (and the JSON
+     artifact) is stable run to run. *)
+  List.sort (fun a b -> compare a.name b.name) !rows
+
+let print_rows rows =
+  print_endline "== Bechamel: real execution cost of the harness ==";
+  Printf.printf "%-52s  %14s\n" "benchmark" "ns/run";
+  print_endline (String.make 70 '-');
+  List.iter
+    (fun r ->
+      let est =
+        if Float.is_nan r.ns_per_run then "             -"
+        else Printf.sprintf "%14.1f" r.ns_per_run
+      in
+      Printf.printf "%-52s  %s\n" r.name est)
+    rows;
   print_newline ()
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* One JSON object per benchmark: name, ns_per_run, r_square, date
+   (ISO 8601, UTC). NaN is not valid JSON, so a failed estimate or a
+   missing r^2 is emitted as null. *)
+let write_json ~file rows =
+  let tm = Unix.gmtime (Unix.time ()) in
+  let date =
+    Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+  in
+  let oc = open_out file in
+  let fnum v =
+    if Float.is_nan v then "null" else Printf.sprintf "%.1f" v
+  in
+  output_string oc "[\n";
+  List.iteri
+    (fun i r ->
+      let r2 =
+        match r.r_square with
+        | Some v when not (Float.is_nan v) -> Printf.sprintf "%.6f" v
+        | Some _ | None -> "null"
+      in
+      Printf.fprintf oc
+        "  {\"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s, \"date\": \"%s\"}%s\n"
+        (json_escape r.name) (fnum r.ns_per_run) r2 date
+        (if i = List.length rows - 1 then "" else ",");)
+    rows;
+  output_string oc "]\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d benchmarks)\n\n" file (List.length rows)
 
 (* ---------- full reproduction ----------------------------------------- *)
 
@@ -173,6 +237,28 @@ let reproduce () =
   print_endline "\n-- Figure 6 (uncached, non-volatile fbufs) --";
   H.Exp_fig5.print (H.Exp_fig5.run ~uncached:true ())
 
+let usage () =
+  prerr_endline
+    "usage: main.exe [--quick] [--json FILE]\n\
+     \  --quick      reduced measurement quota; skips the paper\n\
+     \               reproduction printout (CI smoke mode)\n\
+     \  --json FILE  also write the benchmark rows to FILE as JSON";
+  exit 2
+
 let () =
-  benchmarks ();
-  reproduce ()
+  let quick = ref false and json = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | "--json" :: file :: rest ->
+        json := Some file;
+        parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let rows = run_benchmarks ~quick:!quick in
+  print_rows rows;
+  (match !json with Some file -> write_json ~file rows | None -> ());
+  if not !quick then reproduce ()

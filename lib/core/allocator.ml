@@ -3,14 +3,21 @@ open Fbufs_vm
 
 type policy = Lifo | Fifo
 
+(* One size class of parked cached fbufs, as a two-list queue: Lifo pushes
+   and pops at [front]; Fifo pushes to [back] and pops from [front],
+   reversing [back] only when [front] runs dry — O(1) amortized either
+   way, where the old single list paid O(n) per Fifo append. *)
+type cls = { mutable front : Fbuf.t list; mutable back : Fbuf.t list }
+
 type t = {
   region : Region.t;
   path : Path.t;
   variant : Fbuf.variant;
   owner : Pd.t;
   policy : policy;
-  mutable free_list : Fbuf.t list; (* reuse from the head *)
-  mutable extents : (int * int) list; (* free (base_vpn, npages) *)
+  free_classes : (int, cls) Hashtbl.t; (* npages -> parked fbufs *)
+  mutable free_len : int; (* total parked, across classes *)
+  mutable extents : (int * int) list; (* free (base_vpn, npages), sorted *)
   mutable chunks : (int * int) list; (* owned (base_vpn, nchunks) *)
   mutable live : int;
   mutable torn_down : bool;
@@ -20,8 +27,48 @@ let path t = t.path
 let variant t = t.variant
 let owner t = t.owner
 let region t = t.region
-let free_list_length t = List.length t.free_list
+let free_list_length t = t.free_len
 let live_fbufs t = t.live
+
+let cls_for t npages =
+  match Hashtbl.find t.free_classes npages with
+  | c -> c
+  | exception Not_found ->
+      let c = { front = []; back = [] } in
+      Hashtbl.add t.free_classes npages c;
+      c
+
+let push_parked t (fb : Fbuf.t) =
+  let c = cls_for t fb.Fbuf.npages in
+  (match t.policy with
+  | Lifo -> c.front <- fb :: c.front
+  | Fifo -> c.back <- fb :: c.back);
+  t.free_len <- t.free_len + 1
+
+(* Every parked fbuf, in unspecified order; callers that care must sort. *)
+let parked_fbufs t =
+  Hashtbl.fold
+    (fun _ c acc -> List.rev_append c.back (c.front @ acc))
+    t.free_classes []
+
+let clear_parked t =
+  Hashtbl.reset t.free_classes;
+  t.free_len <- 0
+
+(* Insert a free extent keeping the list sorted by base and coalescing
+   extents that touch, so fragmented returns re-form allocatable runs
+   (without this, a torn-down set of small fbufs could never satisfy a
+   larger request without growing the chunk footprint). *)
+let add_extent t ext =
+  let rec go (base, n) = function
+    | [] -> [ (base, n) ]
+    | (b, m) :: rest ->
+        if b + m = base then go (b, m + n) rest
+        else if base + n = b then go (base, n + m) rest
+        else if b + m < base then (b, m) :: go (base, n) rest
+        else (base, n) :: (b, m) :: rest
+  in
+  t.extents <- go ext t.extents
 
 let release_chunks t =
   List.iter
@@ -40,14 +87,12 @@ let on_all_freed t (fb : Fbuf.t) =
         if t.live = 0 then release_chunks t
       end
       else begin
-        (match t.policy with
-        | Lifo -> t.free_list <- fb :: t.free_list
-        | Fifo -> t.free_list <- t.free_list @ [ fb ]);
+        push_parked t fb;
         t.live <- t.live - 1
       end
   | Fbuf.Dead ->
       Region.unregister_fbuf t.region fb;
-      t.extents <- (fb.Fbuf.base_vpn, fb.Fbuf.npages) :: t.extents;
+      add_extent t (fb.Fbuf.base_vpn, fb.Fbuf.npages);
       t.live <- t.live - 1;
       if t.torn_down && t.live = 0 then release_chunks t
   | Fbuf.Active -> assert false
@@ -59,7 +104,8 @@ let create region ~path ~variant ?(policy = Lifo) () =
     variant;
     owner = Path.originator path;
     policy;
-    free_list = [];
+    free_classes = Hashtbl.create 8;
+    free_len = 0;
     extents = [];
     chunks = [];
     live = 0;
@@ -69,12 +115,15 @@ let create region ~path ~variant ?(policy = Lifo) () =
 let default region ~owner =
   create region ~path:(Path.create [ owner ]) ~variant:Fbuf.volatile_only ()
 
-(* First-fit over the free extents; splits when the fit is loose. *)
+(* First-fit over the sorted, coalesced free extents; splits when the fit
+   is loose. *)
 let take_extent t ~npages =
   let rec loop acc = function
     | [] -> None
     | (base, n) :: rest when n >= npages ->
-        let remainder = if n > npages then [ (base + npages, n - npages) ] else [] in
+        let remainder =
+          if n > npages then [ (base + npages, n - npages) ] else []
+        in
         t.extents <- List.rev_append acc (remainder @ rest);
         Some base
     | e :: rest -> loop (e :: acc) rest
@@ -90,18 +139,31 @@ let take_address_range t ~npages =
       let base = Region.alloc_chunks t.region t.owner ~nchunks in
       t.chunks <- (base, nchunks) :: t.chunks;
       let slack = (nchunks * chunk_pages) - npages in
-      if slack > 0 then t.extents <- (base + npages, slack) :: t.extents;
+      if slack > 0 then add_extent t (base + npages, slack);
       base
 
+(* O(1): one size-class lookup plus a queue pop. The selection is the same
+   as the old whole-list scan — most (Lifo) or least (Fifo) recently freed
+   buffer of exactly the requested size. *)
 let pop_cached t ~npages =
-  let rec loop acc = function
-    | [] -> None
-    | (fb : Fbuf.t) :: rest when fb.Fbuf.npages = npages ->
-        t.free_list <- List.rev_append acc rest;
+  match Hashtbl.find t.free_classes npages with
+  | exception Not_found -> None
+  | c -> (
+      let took fb =
+        t.free_len <- t.free_len - 1;
         Some fb
-    | fb :: rest -> loop (fb :: acc) rest
-  in
-  loop [] t.free_list
+      in
+      match c.front with
+      | fb :: rest ->
+          c.front <- rest;
+          took fb
+      | [] -> (
+          match List.rev c.back with
+          | [] -> None
+          | fb :: rest ->
+              c.front <- rest;
+              c.back <- [];
+              took fb))
 
 let fresh_fbuf t ~npages =
   let m = Region.machine t.region in
@@ -170,19 +232,23 @@ let reclaim t ?(older_than_us = 0.0) ~max_fbufs () =
   (* LRU approximation: victims are the least recently *used* parked
      buffers that still hold physical memory and have been idle past the
      horizon; already-reclaimed buffers are skipped so repeated daemon
-     sweeps make real progress or report none. *)
+     sweeps make real progress or report none. Ties on age break on fbuf
+     id (allocation order) so the sweep is deterministic regardless of
+     size-class iteration order. *)
   let now = Machine.now (Region.machine t.region) in
   let resident =
     List.filter
       (fun fb ->
         has_resident_memory fb
         && now -. fb.Fbuf.last_alloc_us >= older_than_us)
-      t.free_list
+      (parked_fbufs t)
   in
   let by_age =
     List.sort
       (fun (a : Fbuf.t) (b : Fbuf.t) ->
-        compare a.Fbuf.last_alloc_us b.Fbuf.last_alloc_us)
+        match compare a.Fbuf.last_alloc_us b.Fbuf.last_alloc_us with
+        | 0 -> compare a.Fbuf.id b.Fbuf.id
+        | c -> c)
       resident
   in
   let take = min (max 0 max_fbufs) (List.length by_age) in
@@ -202,6 +268,6 @@ let teardown t =
     (fun fb ->
       Transfer.destroy_cached fb;
       Region.unregister_fbuf t.region fb)
-    t.free_list;
-  t.free_list <- [];
+    (parked_fbufs t);
+  clear_parked t;
   if t.live = 0 then release_chunks t

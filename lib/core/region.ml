@@ -25,9 +25,11 @@ type t = {
   nchunks : int;
   chunk_owner : int option array;  (* chunk index -> owning domain id *)
   owned_count : (int, int) Hashtbl.t;  (* domain id -> chunks owned *)
-  fbuf_index : (int, Fbuf.t) Hashtbl.t;  (* vpn -> covering fbuf *)
+  chunk_fbufs : Fbuf.t list array;  (* chunk index -> overlapping fbufs *)
   dead_frame : Phys_mem.frame_id;
   mutable dead_reads : int;
+  mutable cursor : int;  (* next-fit: first chunk to probe on alloc *)
+  mutable free_count : int;  (* unowned chunks, for O(1) exhaustion *)
 }
 
 exception Chunk_limit_exceeded of string
@@ -40,7 +42,18 @@ let config t = t.config
 let in_region t ~vpn =
   vpn >= t.config.base_vpn && vpn < t.config.base_vpn + t.config.region_pages
 
-let fbuf_at t ~vpn = Hashtbl.find_opt t.fbuf_index vpn
+let chunk_of t ~vpn = (vpn - t.config.base_vpn) / t.config.chunk_pages
+
+(* Chunk-granular index: at most chunk_pages fbufs can overlap one chunk,
+   so the per-chunk scan is short and registration is O(chunks spanned)
+   instead of O(pages). *)
+let fbuf_at t ~vpn =
+  if not (in_region t ~vpn) then None
+  else
+    List.find_opt
+      (fun (fb : Fbuf.t) ->
+        vpn >= fb.Fbuf.base_vpn && vpn < fb.Fbuf.base_vpn + fb.Fbuf.npages)
+      t.chunk_fbufs.(chunk_of t ~vpn)
 
 (* Reads inside the region that the domain's own map cannot resolve are
    handled here. Two cases:
@@ -101,9 +114,11 @@ let create m ~kernel ?(config = default_config) () =
       nchunks = config.region_pages / config.chunk_pages;
       chunk_owner = Array.make (config.region_pages / config.chunk_pages) None;
       owned_count = Hashtbl.create 8;
-      fbuf_index = Hashtbl.create 1024;
+      chunk_fbufs = Array.make (config.region_pages / config.chunk_pages) [];
       dead_frame;
       dead_reads = 0;
+      cursor = 0;
+      free_count = config.region_pages / config.chunk_pages;
     }
   in
   kernel.Pd.fault_hook <- Some (dead_page_hook t);
@@ -136,21 +151,38 @@ let alloc_chunks t (dom : Pd.t) ~nchunks =
     Stats.incr t.m.stats "region.chunk_rpc"
   end;
   Machine.charge t.m t.m.cost.Cost_model.vm_range_op;
-  (* First-fit search for a contiguous free run. *)
-  let rec find start =
-    if start + nchunks > t.nchunks then raise Region_exhausted
+  (* Next-fit search for a contiguous free run: resume from the rolling
+     cursor and wrap around once, skipping past the blocking chunk on
+     every failed probe. In the common append-mostly regime this is O(run
+     length); the old first-fit rescan from chunk 0 was O(region). *)
+  if nchunks > t.free_count then raise Region_exhausted;
+  let limit = t.nchunks - nchunks in
+  let rec scan start hi =
+    if start > hi then None
     else
       let rec run i =
-        if i = nchunks then true
+        if i = nchunks then -1
         else if t.chunk_owner.(start + i) = None then run (i + 1)
-        else false
+        else i
       in
-      if run 0 then start else find (start + 1)
+      match run 0 with
+      | -1 -> Some start
+      | blocked -> scan (start + blocked + 1) hi
   in
-  let start = find 0 in
+  let start =
+    match (if t.cursor > limit then None else scan t.cursor limit) with
+    | Some s -> s
+    | None -> (
+        (* Wrapped pass covers runs that begin before the cursor. *)
+        match scan 0 limit with
+        | Some s -> s
+        | None -> raise Region_exhausted)
+  in
   for i = start to start + nchunks - 1 do
     t.chunk_owner.(i) <- Some dom.Pd.id
   done;
+  t.cursor <- (if start + nchunks >= t.nchunks then 0 else start + nchunks);
+  t.free_count <- t.free_count - nchunks;
   Hashtbl.replace t.owned_count dom.Pd.id (owned t dom + nchunks);
   Stats.add t.m.stats "region.chunks_granted" nchunks;
   t.config.base_vpn + (start * t.config.chunk_pages)
@@ -166,28 +198,40 @@ let free_chunks t (dom : Pd.t) ~vpn ~nchunks =
         invalid_arg "Region.free_chunks: chunk not owned by domain");
     t.chunk_owner.(i) <- None
   done;
+  t.free_count <- t.free_count + nchunks;
   Machine.charge t.m t.m.cost.Cost_model.vm_range_op;
   Hashtbl.replace t.owned_count dom.Pd.id (owned t dom - nchunks)
 
+let fbuf_chunk_span t (fb : Fbuf.t) =
+  ( chunk_of t ~vpn:fb.Fbuf.base_vpn,
+    chunk_of t ~vpn:(fb.Fbuf.base_vpn + fb.Fbuf.npages - 1) )
+
 let register_fbuf t (fb : Fbuf.t) =
-  for i = 0 to fb.Fbuf.npages - 1 do
-    Hashtbl.replace t.fbuf_index (fb.Fbuf.base_vpn + i) fb
+  let c0, c1 = fbuf_chunk_span t fb in
+  for c = c0 to c1 do
+    t.chunk_fbufs.(c) <- fb :: t.chunk_fbufs.(c)
   done
 
 let unregister_fbuf t (fb : Fbuf.t) =
-  for i = 0 to fb.Fbuf.npages - 1 do
-    Hashtbl.remove t.fbuf_index (fb.Fbuf.base_vpn + i)
+  let c0, c1 = fbuf_chunk_span t fb in
+  for c = c0 to c1 do
+    t.chunk_fbufs.(c) <-
+      List.filter (fun (g : Fbuf.t) -> g.Fbuf.id <> fb.Fbuf.id)
+        t.chunk_fbufs.(c)
   done
 
 let registered_fbufs t =
   let seen = Hashtbl.create 64 in
-  Hashtbl.fold
-    (fun _ (fb : Fbuf.t) acc ->
-      if Hashtbl.mem seen fb.Fbuf.id then acc
-      else begin
-        Hashtbl.add seen fb.Fbuf.id ();
-        fb :: acc
-      end)
-    t.fbuf_index []
+  Array.fold_left
+    (fun acc fbs ->
+      List.fold_left
+        (fun acc (fb : Fbuf.t) ->
+          if Hashtbl.mem seen fb.Fbuf.id then acc
+          else begin
+            Hashtbl.add seen fb.Fbuf.id ();
+            fb :: acc
+          end)
+        acc fbs)
+    [] t.chunk_fbufs
 
 let dead_page_reads t = t.dead_reads

@@ -370,7 +370,7 @@ let path_locality () =
       done;
       Des.run des;
       let _, busy0 = cp in
-      let rx_us = (tb2.Testbed.m.Machine.busy_us -. busy0) /. float_of_int pdus in
+      let rx_us = (Machine.busy_us tb2.Testbed.m -. busy0) /. float_of_int pdus in
       Printf.printf "%s  %s  %s  %s\n"
         (Report.cell ~width:12 (string_of_int nflows))
         (Report.cell ~width:12

@@ -1,5 +1,8 @@
 module Trace = Fbufs_trace.Trace
 
+(* All-float record: mutated in place on every charge, no boxing. *)
+type busy = { mutable busy_us : float }
+
 type t = {
   name : string;
   clock : Clock.t;
@@ -8,7 +11,7 @@ type t = {
   tlb : Tlb.t;
   stats : Stats.t;
   rng : Rng.t;
-  mutable busy_us : float;
+  busy : busy;
   mutable next_asid : int;
   mutable next_id : int;
   mutable trace : Trace.t option;
@@ -27,7 +30,7 @@ let create ?(name = "host") ?(cost = Cost_model.decstation_5000_200)
     tlb = Tlb.create ~entries:tlb_entries (Rng.split rng);
     stats = Stats.create ();
     rng;
-    busy_us = 0.0;
+    busy = { busy_us = 0.0 };
     next_asid = 1;
     next_id = 1;
     trace = (match trace with Some _ as t -> t | None -> !default_trace);
@@ -43,7 +46,7 @@ let charge ?kind m us =
         k
   | _ -> ());
   Clock.advance m.clock us;
-  m.busy_us <- m.busy_us +. us
+  m.busy.busy_us <- m.busy.busy_us +. us
 
 let charge_n ?kind m n us = charge ?kind m (float_of_int n *. us)
 
@@ -110,13 +113,15 @@ let fresh_id m =
 
 let cpu_load m ~since =
   let span = now m -. since in
-  if span <= 0.0 then 0.0 else Float.min 1.0 (m.busy_us /. span)
+  if span <= 0.0 then 0.0 else Float.min 1.0 (m.busy.busy_us /. span)
 
-let checkpoint m = (now m, m.busy_us)
+let busy_us m = m.busy.busy_us
+
+let checkpoint m = (now m, busy_us m)
 
 let load_since m (t0, busy0) =
   let span = now m -. t0 in
-  if span <= 0.0 then 0.0 else Float.min 1.0 ((m.busy_us -. busy0) /. span)
+  if span <= 0.0 then 0.0 else Float.min 1.0 ((busy_us m -. busy0) /. span)
 
 (* The kernel's IPC path occupies a distinguished address space (ASID 0)
    and touches a working set of code and data pages on every crossing. *)

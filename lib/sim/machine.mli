@@ -5,6 +5,10 @@
     {!elapse} (idle waiting, e.g. for the network), which keeps CPU-load
     accounting honest for the paper's section-4 load measurements. *)
 
+type busy = { mutable busy_us : float }
+(** Single-field all-float record: the busy accumulator lives in flat
+    (unboxed) storage so {!charge} does not allocate. *)
+
 type t = {
   name : string;
   clock : Clock.t;
@@ -13,7 +17,7 @@ type t = {
   tlb : Tlb.t;
   stats : Stats.t;
   rng : Rng.t;
-  mutable busy_us : float;
+  busy : busy;
   mutable next_asid : int;
   mutable next_id : int;
   mutable trace : Fbufs_trace.Trace.t option;
@@ -104,6 +108,9 @@ val async_end :
   unit
 
 val now : t -> float
+
+val busy_us : t -> float
+(** Accumulated CPU (non-idle) simulated time. *)
 
 val fresh_asid : t -> int
 val fresh_id : t -> int

@@ -1,29 +1,85 @@
-type t = { mutable state : int64 }
+(* splitmix64.
+
+   The state is stored as two 32-bit halves in immediate [int] fields
+   rather than one [int64] field: int64 record fields are boxed, so a
+   [t.state <- ...] store would allocate on every draw — and the TLB
+   replacement path draws on every domain crossing. The arithmetic itself
+   stays in [Int64]: the native compiler unboxes let-bound int64 locals
+   whose uses are all arithmetic, so each draw below compiles to straight
+   64-bit register code with zero allocation. That same unboxing rule is
+   why [int]/[float]/[bool] duplicate the mixing chain instead of calling
+   [next]: without flambda a call boundary would box the returned int64. *)
+
+type t = { mutable hi : int; mutable lo : int }
+(* Invariant: 0 <= hi < 2^32, 0 <= lo < 2^32; the state is hi * 2^32 + lo. *)
 
 let golden = 0x9E3779B97F4A7C15L
 
-let create seed =
-  { state = Int64.add (Int64.of_int seed) 0x2545F4914F6CDD1DL }
+let of_int64 s =
+  {
+    hi = Int64.to_int (Int64.shift_right_logical s 32);
+    lo = Int64.to_int (Int64.logand s 0xFFFFFFFFL);
+  }
+
+let create seed = of_int64 (Int64.add (Int64.of_int seed) 0x2545F4914F6CDD1DL)
 
 (* splitmix64: one 64-bit multiply-xor-shift chain per output. *)
 let next t =
-  t.state <- Int64.add t.state golden;
-  let z = t.state in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let s =
+    Int64.add
+      (Int64.logor (Int64.shift_left (Int64.of_int t.hi) 32) (Int64.of_int t.lo))
+      golden
+  in
+  t.hi <- Int64.to_int (Int64.shift_right_logical s 32);
+  t.lo <- Int64.to_int (Int64.logand s 0xFFFFFFFFL);
+  let z = Int64.mul (Int64.logxor s (Int64.shift_right_logical s 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let s =
+    Int64.add
+      (Int64.logor (Int64.shift_left (Int64.of_int t.hi) 32) (Int64.of_int t.lo))
+      golden
+  in
+  t.hi <- Int64.to_int (Int64.shift_right_logical s 32);
+  t.lo <- Int64.to_int (Int64.logand s 0xFFFFFFFFL);
+  let z = Int64.mul (Int64.logxor s (Int64.shift_right_logical s 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
   (* Shift by 2 so the value fits OCaml's 63-bit int without wrapping. *)
-  let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
-  v mod bound
+  let v = Int64.to_int (Int64.shift_right_logical z 2) in
+  (* Same result either way ([v] is non-negative); the mask path skips the
+     division, which matters because TLB random replacement draws with a
+     power-of-two bound on every eviction. *)
+  if bound land (bound - 1) = 0 then v land (bound - 1) else v mod bound
 
 let float t bound =
-  let v = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  let s =
+    Int64.add
+      (Int64.logor (Int64.shift_left (Int64.of_int t.hi) 32) (Int64.of_int t.lo))
+      golden
+  in
+  t.hi <- Int64.to_int (Int64.shift_right_logical s 32);
+  t.lo <- Int64.to_int (Int64.logand s 0xFFFFFFFFL);
+  let z = Int64.mul (Int64.logxor s (Int64.shift_right_logical s 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  let v = Int64.to_float (Int64.shift_right_logical z 11) in
   v /. 9007199254740992.0 *. bound
 
-let bool t = Int64.logand (next t) 1L = 1L
+let bool t =
+  let s =
+    Int64.add
+      (Int64.logor (Int64.shift_left (Int64.of_int t.hi) 32) (Int64.of_int t.lo))
+      golden
+  in
+  t.hi <- Int64.to_int (Int64.shift_right_logical s 32);
+  t.lo <- Int64.to_int (Int64.logand s 0xFFFFFFFFL);
+  let z = Int64.mul (Int64.logxor s (Int64.shift_right_logical s 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logand (Int64.logxor z (Int64.shift_right_logical z 31)) 1L = 1L
 
 let bytes t n =
   let b = Bytes.create n in
@@ -32,4 +88,4 @@ let bytes t n =
   done;
   b
 
-let split t = { state = next t }
+let split t = of_int64 (next t)

@@ -1,3 +1,127 @@
+(* Open-addressed int -> int map used as the TLB's tag index. Linear
+   probing with tombstones and Fibonacci hashing; the capacity is fixed at
+   8x the TLB size (live entries never exceed the number of slots, so the
+   load factor stays under 1/8 and probe chains are short), and a
+   full in-place rehash runs when tombstones fill half the table, which
+   amortizes to O(1) per deletion. Much cheaper per operation than a
+   generic [Hashtbl]: IPC domain crossings insert dozens of entries each,
+   so this sits on the simulator's hottest path.
+
+   Values are TLB slot numbers and each is bound to at most one key, so
+   the table also keeps the inverse map [inv] : value -> table slot.
+   Deleting by value ([remove_value], the eviction/shootdown path) is then
+   a direct tombstone write with no probe at all. [inv] entries are only
+   meaningful for live values; rehash rebuilds them as it reinserts. *)
+module Itab = struct
+  type t = {
+    key : int array;
+    value : int array;
+    inv : int array; (* value -> slot holding it, for live values *)
+    state : Bytes.t; (* '\000' empty, '\001' live, '\002' tombstone *)
+    mask : int;
+    mutable live : int;
+    mutable used : int; (* live + tombstones *)
+  }
+
+  let create ~capacity_for =
+    let rec pow2 c = if c >= 8 * capacity_for then c else pow2 (c * 2) in
+    let cap = pow2 16 in
+    {
+      key = Array.make cap 0;
+      value = Array.make cap 0;
+      inv = Array.make capacity_for (-1);
+      state = Bytes.make cap '\000';
+      mask = cap - 1;
+      live = 0;
+      used = 0;
+    }
+
+  let slot_of t k =
+    let h = k * 0x2545F4914F6CDD1D in
+    (h lxor (h lsr 29)) land t.mask
+
+  let find t k =
+    let rec loop i =
+      match Bytes.unsafe_get t.state i with
+      | '\000' -> -1
+      | '\001' when Array.unsafe_get t.key i = k -> Array.unsafe_get t.value i
+      | _ -> loop ((i + 1) land t.mask)
+    in
+    loop (slot_of t k)
+
+  let rec replace t k v =
+    (* Track the first tombstone on the probe path so deleted slots are
+       recycled; fall through to it only once the key is known absent. *)
+    let rec loop i tomb =
+      match Bytes.unsafe_get t.state i with
+      | '\001' when Array.unsafe_get t.key i = k ->
+          t.value.(i) <- v;
+          t.inv.(v) <- i
+      | '\000' ->
+          if tomb >= 0 then begin
+            t.key.(tomb) <- k;
+            t.value.(tomb) <- v;
+            t.inv.(v) <- tomb;
+            Bytes.set t.state tomb '\001';
+            t.live <- t.live + 1
+          end
+          else if 2 * (t.used + 1) > t.mask + 1 then begin
+            rehash t;
+            replace t k v
+          end
+          else begin
+            t.key.(i) <- k;
+            t.value.(i) <- v;
+            t.inv.(v) <- i;
+            Bytes.set t.state i '\001';
+            t.live <- t.live + 1;
+            t.used <- t.used + 1
+          end
+      | '\002' when tomb < 0 -> loop ((i + 1) land t.mask) i
+      | _ -> loop ((i + 1) land t.mask) tomb
+    in
+    loop (slot_of t k) (-1)
+
+  and rehash t =
+    let cap = t.mask + 1 in
+    let old_key = Array.copy t.key and old_val = Array.copy t.value in
+    let old_state = Bytes.copy t.state in
+    Bytes.fill t.state 0 cap '\000';
+    t.live <- 0;
+    t.used <- 0;
+    for i = 0 to cap - 1 do
+      if Bytes.get old_state i = '\001' then replace t old_key.(i) old_val.(i)
+    done
+
+  (* Delete the binding whose value is [v]. The caller guarantees [v] is
+     currently bound (the TLB only evicts/invalidates valid entries), so
+     this is one array read and a tombstone write — no probe. *)
+  let remove_value t v =
+    let i = t.inv.(v) in
+    Bytes.set t.state i '\002';
+    t.live <- t.live - 1;
+    (* If the probe chain ends right after [i], this tombstone (and any
+       tombstones immediately preceding it) can revert to empty: no lookup
+       can terminate early because of them. At low load this reclaims
+       almost every deletion in place, so the tombstone-triggered rehash
+       almost never runs. *)
+    if Bytes.unsafe_get t.state ((i + 1) land t.mask) = '\000' then begin
+      let rec clean j =
+        if Bytes.unsafe_get t.state j = '\002' then begin
+          Bytes.set t.state j '\000';
+          t.used <- t.used - 1;
+          clean ((j - 1) land t.mask)
+        end
+      in
+      clean i
+    end
+
+  let clear t =
+    Bytes.fill t.state 0 (t.mask + 1) '\000';
+    t.live <- 0;
+    t.used <- 0
+end
+
 type entry = {
   mutable valid : bool;
   mutable asid : int;
@@ -5,9 +129,21 @@ type entry = {
   mutable writable : bool;
 }
 
-type t = { slots : entry array; rng : Rng.t }
+(* [index] maps the (asid, vpn) tag of every *valid* slot to its slot
+   number, so probes and shootdowns are O(1) instead of a scan over the
+   whole array; [valid_count] lets [insert] know without scanning whether
+   an invalid slot exists. Invariants: a tag is in [index] iff its slot is
+   valid, and [valid_count] equals the number of valid slots. *)
+type t = {
+  slots : entry array;
+  rng : Rng.t;
+  index : Itab.t;
+  mutable valid_count : int;
+}
 
 type probe_result = Hit | Hit_readonly | Miss
+
+let key ~asid ~vpn = (asid lsl 40) + vpn
 
 let create ?(entries = 64) rng =
   if entries <= 0 then invalid_arg "Tlb.create: entries must be positive";
@@ -15,54 +151,73 @@ let create ?(entries = 64) rng =
     Array.init entries (fun _ ->
         { valid = false; asid = 0; vpn = 0; writable = false })
   in
-  { slots; rng }
+  { slots; rng; index = Itab.create ~capacity_for:entries; valid_count = 0 }
 
 let entries t = Array.length t.slots
 
-let find t ~asid ~vpn =
-  let n = Array.length t.slots in
-  let rec loop i =
-    if i >= n then None
-    else
-      let e = t.slots.(i) in
-      if e.valid && e.asid = asid && e.vpn = vpn then Some e else loop (i + 1)
-  in
-  loop 0
-
 let probe t ~asid ~vpn ~write =
-  match find t ~asid ~vpn with
-  | None -> Miss
-  | Some e -> if write && not e.writable then Hit_readonly else Hit
+  let i = Itab.find t.index (key ~asid ~vpn) in
+  if i = -1 then Miss
+  else if write && not (Array.unsafe_get t.slots i).writable then Hit_readonly
+  else Hit
 
 let insert t ~asid ~vpn ~writable =
-  let e =
-    match find t ~asid ~vpn with
-    | Some e -> e
-    | None -> (
-        (* Prefer an invalid slot; otherwise evict a random victim, as the
-           R3000 'tlbwr' (write-random) refill idiom does. *)
+  let k = key ~asid ~vpn in
+  let i =
+    match Itab.find t.index k with
+    | -1 ->
         let n = Array.length t.slots in
-        let rec invalid i =
-          if i >= n then None
-          else if not t.slots.(i).valid then Some t.slots.(i)
-          else invalid (i + 1)
+        (* Prefer the lowest-numbered invalid slot; otherwise evict a
+           random victim, as the R3000 'tlbwr' (write-random) refill idiom
+           does. The invalid-slot scan only runs while the TLB is filling
+           up (or right after a flush); in steady state it is skipped. *)
+        let victim =
+          if t.valid_count < n then begin
+            let rec invalid i =
+              if not t.slots.(i).valid then i else invalid (i + 1)
+            in
+            invalid 0
+          end
+          else Rng.int t.rng n
         in
-        match invalid 0 with
-        | Some e -> e
-        | None -> t.slots.(Rng.int t.rng n))
+        let e = t.slots.(victim) in
+        if e.valid then begin
+          Itab.remove_value t.index victim;
+          t.valid_count <- t.valid_count - 1;
+          e.valid <- false
+        end;
+        Itab.replace t.index k victim;
+        victim
+    | i -> i
   in
+  let e = t.slots.(i) in
+  if not e.valid then t.valid_count <- t.valid_count + 1;
   e.valid <- true;
   e.asid <- asid;
   e.vpn <- vpn;
   e.writable <- writable
 
 let invalidate t ~asid ~vpn =
-  match find t ~asid ~vpn with None -> () | Some e -> e.valid <- false
+  match Itab.find t.index (key ~asid ~vpn) with
+  | -1 -> ()
+  | i ->
+      t.slots.(i).valid <- false;
+      Itab.remove_value t.index i;
+      t.valid_count <- t.valid_count - 1
 
 let flush_asid t ~asid =
-  Array.iter (fun e -> if e.valid && e.asid = asid then e.valid <- false) t.slots
+  Array.iteri
+    (fun i e ->
+      if e.valid && e.asid = asid then begin
+        e.valid <- false;
+        Itab.remove_value t.index i;
+        t.valid_count <- t.valid_count - 1
+      end)
+    t.slots
 
-let flush_all t = Array.iter (fun e -> e.valid <- false) t.slots
+let flush_all t =
+  Array.iter (fun e -> e.valid <- false) t.slots;
+  Itab.clear t.index;
+  t.valid_count <- 0
 
-let valid_entries t =
-  Array.fold_left (fun acc e -> if e.valid then acc + 1 else acc) 0 t.slots
+let valid_entries t = t.valid_count

@@ -14,8 +14,10 @@ let handle_fault (dom : Pd.t) ~vpn ~write ~vaddr =
     | Vm_map.Resolved -> ()
     | Vm_map.Violation -> raise_violation dom vaddr write
 
-(* Translate a virtual address to (frame, retained-entry) performing the
-   full TLB / pmap / fault dance with charges. *)
+(* Translate a virtual address to its physical frame, performing the full
+   TLB / pmap / fault dance with charges. Returns the frame only (callers
+   compute the page offset themselves): the pair this used to return was a
+   fresh heap block on every simulated load/store. *)
 let translate (dom : Pd.t) ~vaddr ~write =
   let m = dom.m in
   let ps = page_size dom in
@@ -56,30 +58,40 @@ let translate (dom : Pd.t) ~vaddr ~write =
               handle_fault dom ~vpn ~write ~vaddr;
               attempt (depth + 1))
   in
-  (attempt 0, vaddr mod ps)
+  attempt 0
 
 let charge_word (dom : Pd.t) =
   let m = dom.m in
   Machine.charge m
     (m.cost.Cost_model.word_touch +. m.cost.Cost_model.cache_miss)
 
+(* The word accessors assemble the 32-bit value a byte at a time rather
+   than via [Bytes.get_int32_le]/[set_int32_le]: the [Int32] round trip
+   boxes on every access, and these two functions are the per-word unit of
+   every touch loop in the experiments. *)
 let read_word dom ~vaddr =
   let ps = page_size dom in
-  if (vaddr mod ps) + 4 > ps then
-    invalid_arg "Access.read_word: crosses page boundary";
+  let off = vaddr mod ps in
+  if off + 4 > ps then invalid_arg "Access.read_word: crosses page boundary";
   charge_word dom;
-  let frame, off = translate dom ~vaddr ~write:false in
+  let frame = translate dom ~vaddr ~write:false in
   let b = Phys_mem.data dom.m.pmem frame in
-  Int32.to_int (Bytes.get_int32_le b off) land 0xFFFFFFFF
+  Char.code (Bytes.unsafe_get b off)
+  lor (Char.code (Bytes.unsafe_get b (off + 1)) lsl 8)
+  lor (Char.code (Bytes.unsafe_get b (off + 2)) lsl 16)
+  lor (Char.code (Bytes.unsafe_get b (off + 3)) lsl 24)
 
 let write_word dom ~vaddr v =
   let ps = page_size dom in
-  if (vaddr mod ps) + 4 > ps then
-    invalid_arg "Access.write_word: crosses page boundary";
+  let off = vaddr mod ps in
+  if off + 4 > ps then invalid_arg "Access.write_word: crosses page boundary";
   charge_word dom;
-  let frame, off = translate dom ~vaddr ~write:true in
+  let frame = translate dom ~vaddr ~write:true in
   let b = Phys_mem.data dom.m.pmem frame in
-  Bytes.set_int32_le b off (Int32.of_int (v land 0xFFFFFFFF))
+  Bytes.unsafe_set b off (Char.unsafe_chr (v land 0xFF));
+  Bytes.unsafe_set b (off + 1) (Char.unsafe_chr ((v lsr 8) land 0xFF));
+  Bytes.unsafe_set b (off + 2) (Char.unsafe_chr ((v lsr 16) land 0xFF));
+  Bytes.unsafe_set b (off + 3) (Char.unsafe_chr ((v lsr 24) land 0xFF))
 
 (* Iterate over the page-aligned segments of [vaddr, vaddr+len). *)
 let iter_segments dom ~vaddr ~len f =
@@ -97,9 +109,11 @@ let iter_segments dom ~vaddr ~len f =
 let read_bytes (dom : Pd.t) ~vaddr ~len =
   let out = Bytes.create len in
   let m = dom.m in
+  let ps = page_size dom in
   let pos = ref 0 in
   iter_segments dom ~vaddr ~len (fun ~vaddr ~len ->
-      let frame, off = translate dom ~vaddr ~write:false in
+      let frame = translate dom ~vaddr ~write:false in
+      let off = vaddr mod ps in
       Machine.charge m (float_of_int len *. m.cost.Cost_model.copy_per_byte);
       Bytes.blit (Phys_mem.data m.pmem frame) off out !pos len;
       pos := !pos + len);
@@ -108,10 +122,12 @@ let read_bytes (dom : Pd.t) ~vaddr ~len =
 
 let write_bytes (dom : Pd.t) ~vaddr src =
   let m = dom.m in
+  let ps = page_size dom in
   let len = Bytes.length src in
   let pos = ref 0 in
   iter_segments dom ~vaddr ~len (fun ~vaddr ~len ->
-      let frame, off = translate dom ~vaddr ~write:true in
+      let frame = translate dom ~vaddr ~write:true in
+      let off = vaddr mod ps in
       Machine.charge m (float_of_int len *. m.cost.Cost_model.copy_per_byte);
       Bytes.blit src !pos (Phys_mem.data m.pmem frame) off len;
       pos := !pos + len);
@@ -125,9 +141,11 @@ let blit ~src ~src_vaddr ~dst ~dst_vaddr ~len =
      on each side; copy_per_byte is calibrated for a full load+store). *)
   let data = read_bytes src ~vaddr:src_vaddr ~len in
   let m = dst.Pd.m in
+  let page_size_dst = page_size dst in
   let pos = ref 0 in
   iter_segments dst ~vaddr:dst_vaddr ~len (fun ~vaddr ~len ->
-      let frame, off = translate dst ~vaddr ~write:true in
+      let frame = translate dst ~vaddr ~write:true in
+      let off = vaddr mod page_size_dst in
       Bytes.blit data !pos (Phys_mem.data m.pmem frame) off len;
       pos := !pos + len)
 
@@ -137,10 +155,12 @@ let checksum_start = { sum = 0; odd = None }
 
 let checksum_feed (dom : Pd.t) ~vaddr ~len state =
   let m = dom.m in
+  let ps = page_size dom in
   let sum = ref state.sum in
   let odd = ref state.odd in
   iter_segments dom ~vaddr ~len (fun ~vaddr ~len ->
-      let frame, off = translate dom ~vaddr ~write:false in
+      let frame = translate dom ~vaddr ~write:false in
+      let off = vaddr mod ps in
       Machine.charge m
         (float_of_int len *. m.cost.Cost_model.checksum_per_byte);
       let b = Phys_mem.data m.pmem frame in

@@ -2,23 +2,23 @@ open Fbufs_sim
 
 type entry = { frame : Phys_mem.frame_id; writable : bool }
 
-type t = { m : Machine.t; asid : int; table : (int, entry) Hashtbl.t }
+type t = { m : Machine.t; asid : int; table : entry Ptable.t }
 
-let create m ~asid = { m; asid; table = Hashtbl.create 256 }
+let create m ~asid = { m; asid; table = Ptable.create () }
 
 let asid t = t.asid
 
-let lookup t ~vpn = Hashtbl.find_opt t.table vpn
+let lookup t ~vpn = Ptable.find t.table vpn
 
 (* Each mutation is visible on the trace timeline as the Complete slice
    its [charge ~kind] emits; no separate instant is needed. *)
 let enter t ~vpn ~frame ~writable =
   Machine.charge ~kind:"pmap.enter" t.m t.m.cost.Cost_model.pmap_enter;
   Stats.incr t.m.stats "pmap.enter";
-  Hashtbl.replace t.table vpn { frame; writable }
+  Ptable.set t.table vpn { frame; writable }
 
 let protect t ~vpn ~writable =
-  match Hashtbl.find_opt t.table vpn with
+  match Ptable.find t.table vpn with
   | None -> invalid_arg "Pmap.protect: no entry"
   | Some e ->
       Machine.charge ~kind:"pmap.protect" t.m t.m.cost.Cost_model.pmap_protect;
@@ -30,10 +30,10 @@ let protect t ~vpn ~writable =
         Stats.incr t.m.stats "tlb.shootdown";
         Tlb.invalidate t.m.tlb ~asid:t.asid ~vpn
       end;
-      Hashtbl.replace t.table vpn { e with writable }
+      Ptable.set t.table vpn { e with writable }
 
 let remove t ~vpn =
-  match Hashtbl.find_opt t.table vpn with
+  match Ptable.find t.table vpn with
   | None -> None
   | Some e ->
       Machine.charge ~kind:"pmap.remove" t.m t.m.cost.Cost_model.pmap_remove;
@@ -42,7 +42,7 @@ let remove t ~vpn =
         t.m.cost.Cost_model.tlb_shootdown;
       Stats.incr t.m.stats "tlb.shootdown";
       Tlb.invalidate t.m.tlb ~asid:t.asid ~vpn;
-      Hashtbl.remove t.table vpn;
+      Ptable.remove t.table vpn;
       Some e
 
-let entry_count t = Hashtbl.length t.table
+let entry_count t = Ptable.length t.table

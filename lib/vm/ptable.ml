@@ -1,0 +1,96 @@
+(* Dense slab-backed page table: vpn -> 'a.
+
+   Mapped virtual pages cluster into a handful of contiguous ranges (the
+   private area, the fbuf region), so the table is a hashtable of dense
+   slabs of [1 lsl slab_bits] pages each. Point lookups are one (usually
+   memoized) slab resolution plus an array index; range traversals touch
+   the hashtable once per slab crossed, not once per page.
+
+   The single-slab memo makes sequential range walks O(1) amortized per
+   page: consecutive vpns hit the same slab until the walk crosses a slab
+   boundary. *)
+
+type 'a t = {
+  slab_bits : int;
+  slabs : (int, 'a option array) Hashtbl.t;
+  mutable count : int;
+  mutable memo_id : int; (* slab id of [memo_slab]; min_int = no memo *)
+  mutable memo_slab : 'a option array;
+}
+
+let create ?(slab_bits = 9) () =
+  if slab_bits < 1 || slab_bits > 20 then
+    invalid_arg "Ptable.create: slab_bits out of range";
+  {
+    slab_bits;
+    slabs = Hashtbl.create 16;
+    count = 0;
+    memo_id = min_int;
+    memo_slab = [||];
+  }
+
+let idx t vpn = vpn land ((1 lsl t.slab_bits) - 1)
+
+(* Existing slab holding [vpn], if any. *)
+let slab_of t vpn =
+  let id = vpn lsr t.slab_bits in
+  if id = t.memo_id then Some t.memo_slab
+  else
+    match Hashtbl.find_opt t.slabs id with
+    | Some s ->
+        t.memo_id <- id;
+        t.memo_slab <- s;
+        Some s
+    | None -> None
+
+(* Slab holding [vpn], created on demand. *)
+let slab_for t vpn =
+  match slab_of t vpn with
+  | Some s -> s
+  | None ->
+      let id = vpn lsr t.slab_bits in
+      let s = Array.make (1 lsl t.slab_bits) None in
+      Hashtbl.add t.slabs id s;
+      t.memo_id <- id;
+      t.memo_slab <- s;
+      s
+
+let find t vpn =
+  if vpn < 0 then None
+  else
+    match slab_of t vpn with
+    | None -> None
+    (* [idx] masks into the slab, so the access is in range. *)
+    | Some s -> Array.unsafe_get s (idx t vpn)
+
+let mem t vpn = find t vpn <> None
+
+let set t vpn v =
+  if vpn < 0 then invalid_arg "Ptable.set: negative vpn";
+  let s = slab_for t vpn in
+  let i = idx t vpn in
+  if s.(i) = None then t.count <- t.count + 1;
+  s.(i) <- Some v
+
+let remove t vpn =
+  if vpn >= 0 then
+    match slab_of t vpn with
+    | None -> ()
+    | Some s ->
+        let i = idx t vpn in
+        if s.(i) <> None then begin
+          t.count <- t.count - 1;
+          s.(i) <- None
+        end
+
+let length t = t.count
+
+let iter f t =
+  Hashtbl.iter
+    (fun id s ->
+      Array.iteri
+        (fun i -> function
+          | None -> ()
+          | Some v -> f ((id lsl t.slab_bits) lor i) v)
+        s)
+    t.slabs

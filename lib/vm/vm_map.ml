@@ -11,7 +11,7 @@ type t = {
   m : Machine.t;
   name : string;
   pmap : Pmap.t;
-  table : (int, entry) Hashtbl.t;
+  table : entry Ptable.t;
   mutable next_private_vpn : int;
 }
 
@@ -27,7 +27,7 @@ let create m ~name ~asid =
     m;
     name;
     pmap = Pmap.create m ~asid;
-    table = Hashtbl.create 256;
+    table = Ptable.create ();
     next_private_vpn = private_base_vpn;
   }
 
@@ -53,13 +53,13 @@ let map_zero_fill t ~vpn ~npages =
   charge_range_op t;
   for i = 0 to npages - 1 do
     charge_page_op t;
-    Hashtbl.replace t.table (vpn + i)
+    Ptable.set t.table (vpn + i)
       { frame = None; prot = Prot.Read_write; cow = false; zero_fill = true }
   done
 
 let map_frame t ~vpn ~frame ~prot ~eager =
   charge_page_op t;
-  Hashtbl.replace t.table vpn
+  Ptable.set t.table vpn
     { frame = Some frame; prot; cow = false; zero_fill = false };
   if eager then
     Pmap.enter t.pmap ~vpn ~frame ~writable:(Prot.can_write prot)
@@ -67,7 +67,7 @@ let map_frame t ~vpn ~frame ~prot ~eager =
 let protect t ~vpn ~npages ~prot =
   charge_range_op t;
   for i = 0 to npages - 1 do
-    match Hashtbl.find_opt t.table (vpn + i) with
+    match Ptable.find t.table (vpn + i) with
     | None -> invalid_arg "Vm_map.protect: page not mapped"
     | Some e ->
         charge_page_op t;
@@ -90,7 +90,7 @@ let free_frame t f =
 let unmap t ~vpn ~npages ~free_frames =
   charge_range_op t;
   for i = 0 to npages - 1 do
-    match Hashtbl.find_opt t.table (vpn + i) with
+    match Ptable.find t.table (vpn + i) with
     | None -> ()
     | Some e ->
         charge_page_op t;
@@ -98,7 +98,7 @@ let unmap t ~vpn ~npages ~free_frames =
         (match e.frame with
         | Some f when free_frames -> free_frame t f
         | Some _ | None -> ());
-        Hashtbl.remove t.table (vpn + i)
+        Ptable.remove t.table (vpn + i)
   done
 
 let copy_cow ~src ~dst ~vpn ~npages =
@@ -106,7 +106,7 @@ let copy_cow ~src ~dst ~vpn ~npages =
   charge_range_op dst;
   for i = 0 to npages - 1 do
     let p = vpn + i in
-    match Hashtbl.find_opt src.table p with
+    match Ptable.find src.table p with
     | None -> invalid_arg "Vm_map.copy_cow: source page not mapped"
     | Some e ->
         charge_page_op src;
@@ -114,7 +114,7 @@ let copy_cow ~src ~dst ~vpn ~npages =
         (match e.frame with
         | Some f ->
             Phys_mem.incref src.m.pmem f;
-            Hashtbl.replace dst.table p
+            Ptable.set dst.table p
               { frame = Some f; prot = e.prot; cow = true; zero_fill = false };
             e.cow <- true;
             (* Lazy physical-map update: invalidate rather than downgrade,
@@ -123,14 +123,14 @@ let copy_cow ~src ~dst ~vpn ~npages =
         | None ->
             (* Unmaterialized zero-fill page: both sides keep private
                zero-fill semantics; no sharing needed. *)
-            Hashtbl.replace dst.table p
+            Ptable.set dst.table p
               { frame = None; prot = e.prot; cow = false; zero_fill = true })
   done
 
 let convert_zero_fill t ~vpn ~npages =
   charge_range_op t;
   for i = 0 to npages - 1 do
-    match Hashtbl.find_opt t.table (vpn + i) with
+    match Ptable.find t.table (vpn + i) with
     | None -> invalid_arg "Vm_map.convert_zero_fill: page not mapped"
     | Some e ->
         charge_page_op t;
@@ -141,18 +141,18 @@ let convert_zero_fill t ~vpn ~npages =
         e.zero_fill <- true
   done
 
-let mapped t ~vpn = Hashtbl.mem t.table vpn
+let mapped t ~vpn = Ptable.mem t.table vpn
 
 let prot_of t ~vpn =
-  Option.map (fun e -> e.prot) (Hashtbl.find_opt t.table vpn)
+  Option.map (fun e -> e.prot) (Ptable.find t.table vpn)
 
 let frame_of t ~vpn =
-  Option.bind (Hashtbl.find_opt t.table vpn) (fun e -> e.frame)
+  Option.bind (Ptable.find t.table vpn) (fun e -> e.frame)
 
 let is_cow t ~vpn =
-  match Hashtbl.find_opt t.table vpn with Some e -> e.cow | None -> false
+  match Ptable.find t.table vpn with Some e -> e.cow | None -> false
 
-let entry_count t = Hashtbl.length t.table
+let entry_count t = Ptable.length t.table
 
 let release_range t ~vpn ~npages = unmap t ~vpn ~npages ~free_frames:true
 
@@ -172,7 +172,7 @@ let trace_fault t ~vpn ~write outcome =
 let fault t ~vpn ~write =
   Machine.charge ~kind:"vm.fault_trap" t.m t.m.cost.Cost_model.fault_trap;
   Stats.incr t.m.stats "vm.fault";
-  match Hashtbl.find_opt t.table vpn with
+  match Ptable.find t.table vpn with
   | None ->
       trace_fault t ~vpn ~write "violation";
       Violation

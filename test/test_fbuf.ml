@@ -568,6 +568,161 @@ let prop_cached_reuse_is_stable =
       Phys_mem.free_frames m.Machine.pmem = frames
       && Allocator.free_list_length alloc = 1)
 
+(* ------------------------------------------------------------------ *)
+(* Allocation fast-path data structures (size classes, extents,        *)
+(* next-fit) — added with the O(1) allocator rework                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_fifo_order_survives_interleaving () =
+  let tb, app, _ = setup2 () in
+  let alloc =
+    Allocator.create tb.Testbed.region
+      ~path:(Path.create [ app ])
+      ~variant:Fbuf.cached_volatile ~policy:Allocator.Fifo ()
+  in
+  (* Three distinct live fbufs (allocated before any free, so none is a
+     cache reuse of another). *)
+  let a = Allocator.alloc alloc ~npages:2 in
+  let b = Allocator.alloc alloc ~npages:2 in
+  let c = Allocator.alloc alloc ~npages:2 in
+  Transfer.free a ~dom:app;
+  Transfer.free b ~dom:app;
+  (* First re-allocation must give the *oldest* parked buffer (a), even
+     with more frees and allocations interleaved around it. *)
+  let got1 = Allocator.alloc alloc ~npages:2 in
+  check Alcotest.int "oldest first" a.Fbuf.id got1.Fbuf.id;
+  Transfer.free c ~dom:app;
+  Transfer.free got1 ~dom:app;
+  (* Parked order is now b, c, a. *)
+  let got2 = Allocator.alloc alloc ~npages:2 in
+  let got3 = Allocator.alloc alloc ~npages:2 in
+  let got4 = Allocator.alloc alloc ~npages:2 in
+  check Alcotest.(list int) "FIFO across interleaved alloc/free"
+    [ b.Fbuf.id; c.Fbuf.id; a.Fbuf.id ]
+    [ got2.Fbuf.id; got3.Fbuf.id; got4.Fbuf.id ]
+
+let test_size_class_hit_and_miss () =
+  let tb, app, _ = setup2 () in
+  let m = Region.machine tb.Testbed.region in
+  let alloc = Testbed.allocator tb ~domains:[ app ] Fbuf.cached_volatile in
+  let one = Allocator.alloc alloc ~npages:1 in
+  let four = Allocator.alloc alloc ~npages:4 in
+  let eight = Allocator.alloc alloc ~npages:8 in
+  List.iter (fun fb -> Transfer.free fb ~dom:app) [ one; four; eight ];
+  check Alcotest.int "three parked" 3 (Allocator.free_list_length alloc);
+  let hits () =
+    int_of_float (Stats.get_float m.Machine.stats "fbuf.alloc_cached_hit")
+  in
+  let h0 = hits () in
+  (* Exact-size requests hit their class regardless of park order... *)
+  let got4 = Allocator.alloc alloc ~npages:4 in
+  check Alcotest.int "4-page hit" four.Fbuf.id got4.Fbuf.id;
+  let got1 = Allocator.alloc alloc ~npages:1 in
+  check Alcotest.int "1-page hit" one.Fbuf.id got1.Fbuf.id;
+  check Alcotest.int "two cache hits" (h0 + 2) (hits ());
+  (* ...while a size with no parked buffer misses even though other
+     classes are populated (no splitting of cached mappings). *)
+  let got2 = Allocator.alloc alloc ~npages:2 in
+  Alcotest.(check bool) "2-page request is a fresh fbuf" true
+    (got2.Fbuf.id <> eight.Fbuf.id && got2.Fbuf.id > eight.Fbuf.id);
+  check Alcotest.int "still two hits" (h0 + 2) (hits ());
+  check Alcotest.int "eight still parked" 1 (Allocator.free_list_length alloc)
+
+let test_extents_coalesce_after_free () =
+  let tb, app, _ = setup2 () in
+  let alloc = Testbed.allocator tb ~domains:[ app ] Fbuf.volatile_only in
+  (* Four 4-page uncached fbufs fill one 16-page chunk exactly. *)
+  let fbs = List.init 4 (fun _ -> Allocator.alloc alloc ~npages:4) in
+  let bases = List.map (fun fb -> fb.Fbuf.base_vpn) fbs in
+  let lo = List.fold_left min max_int bases in
+  let owned = Region.chunks_owned tb.Testbed.region app in
+  (* Free in a scrambled order: the freed extents must coalesce back into
+     one 16-page run... *)
+  List.iter
+    (fun i -> Transfer.free (List.nth fbs i) ~dom:app)
+    [ 2; 0; 3; 1 ];
+  let big = Allocator.alloc alloc ~npages:16 in
+  (* ...so a 16-page request is satisfied in place, with no chunk growth. *)
+  check Alcotest.int "16-page alloc reuses the coalesced run" lo
+    big.Fbuf.base_vpn;
+  check Alcotest.int "no new chunks" owned
+    (Region.chunks_owned tb.Testbed.region app)
+
+let test_reclaim_lru_order () =
+  let tb, app, _ = setup2 () in
+  let alloc = Testbed.allocator tb ~domains:[ app ] Fbuf.cached_volatile in
+  (* Allocate before freeing anything so a, b, c are distinct buffers with
+     strictly increasing last-use times. *)
+  let a = Allocator.alloc alloc ~npages:1 in
+  let b = Allocator.alloc alloc ~npages:2 in
+  let c = Allocator.alloc alloc ~npages:1 in
+  Transfer.free a ~dom:app;
+  Transfer.free b ~dom:app;
+  Transfer.free c ~dom:app;
+  let resident fb =
+    Vm_map.frame_of app.Pd.map ~vpn:fb.Fbuf.base_vpn <> None
+  in
+  check Alcotest.int "two reclaimed" 2
+    (Allocator.reclaim alloc ~max_fbufs:2 ());
+  (* a and b were allocated (hence last used) before c: LRU evicts them
+     and leaves the youngest parked buffer resident. *)
+  Alcotest.(check bool) "oldest lost memory" false (resident a);
+  Alcotest.(check bool) "middle lost memory" false (resident b);
+  Alcotest.(check bool) "youngest still resident" true (resident c)
+
+let small_region_config =
+  {
+    Region.default_config with
+    Region.region_pages = 64;
+    chunk_pages = 16;
+    max_chunks_per_allocator = 64;
+  }
+
+let test_next_fit_wraparound () =
+  let tb = Testbed.create ~config:small_region_config () in
+  let app = Testbed.user_domain tb "app" in
+  let r = tb.Testbed.region in
+  let base = small_region_config.Region.base_vpn in
+  let chunk n = base + (n * 16) in
+  (* 4 chunks total. Take three, then free the first. *)
+  check Alcotest.int "chunk 0" (chunk 0) (Region.alloc_chunks r app ~nchunks:1);
+  check Alcotest.int "chunk 1" (chunk 1) (Region.alloc_chunks r app ~nchunks:1);
+  check Alcotest.int "chunk 2" (chunk 2) (Region.alloc_chunks r app ~nchunks:1);
+  Region.free_chunks r app ~vpn:(chunk 0) ~nchunks:1;
+  (* Next-fit: the cursor sits after chunk 2, so the next allocation takes
+     chunk 3, not the lower free chunk 0 (first-fit would). *)
+  check Alcotest.int "next-fit skips the low hole" (chunk 3)
+    (Region.alloc_chunks r app ~nchunks:1);
+  (* Now only chunk 0 is free and the cursor has wrapped past the end. *)
+  check Alcotest.int "wraps around to chunk 0" (chunk 0)
+    (Region.alloc_chunks r app ~nchunks:1);
+  Alcotest.(check bool) "exhausted at the boundary" true
+    (try
+       ignore (Region.alloc_chunks r app ~nchunks:1);
+       false
+     with Region.Region_exhausted -> true)
+
+let test_exhausted_when_free_but_fragmented () =
+  let tb = Testbed.create ~config:small_region_config () in
+  let app = Testbed.user_domain tb "app" in
+  let r = tb.Testbed.region in
+  let base = small_region_config.Region.base_vpn in
+  let chunk n = base + (n * 16) in
+  for i = 0 to 3 do
+    ignore (Region.alloc_chunks r app ~nchunks:1);
+    ignore i
+  done;
+  (* Free chunks 0 and 2: two chunks free, but no two *contiguous*. *)
+  Region.free_chunks r app ~vpn:(chunk 0) ~nchunks:1;
+  Region.free_chunks r app ~vpn:(chunk 2) ~nchunks:1;
+  Alcotest.(check bool) "2-chunk request fails despite 2 free chunks" true
+    (try
+       ignore (Region.alloc_chunks r app ~nchunks:2);
+       false
+     with Region.Region_exhausted -> true);
+  (* A single-chunk request still succeeds. *)
+  ignore (Region.alloc_chunks r app ~nchunks:1)
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "fbuf"
@@ -627,6 +782,18 @@ let () =
             test_outside_region_read_still_violates;
           tc "dead page replaced by transfer" `Quick
             test_dead_page_replaced_by_real_transfer;
+        ] );
+      ( "fast path structures",
+        [
+          tc "FIFO survives interleaved alloc/free" `Quick
+            test_fifo_order_survives_interleaving;
+          tc "size-class hit and miss" `Quick test_size_class_hit_and_miss;
+          tc "extents coalesce after free" `Quick
+            test_extents_coalesce_after_free;
+          tc "reclaim LRU order" `Quick test_reclaim_lru_order;
+          tc "next-fit wraparound" `Quick test_next_fit_wraparound;
+          tc "exhausted when fragmented" `Quick
+            test_exhausted_when_free_but_fragmented;
         ] );
       ( "reclamation",
         [

@@ -223,7 +223,7 @@ let test_no_demux_pays_copy () =
     (String.init bytes (fun i -> "ether".[i mod 5]))
     !got;
   let _, busy0 = cp in
-  let rx_cpu = tb2.Testbed.m.Machine.busy_us -. busy0 in
+  let rx_cpu = Machine.busy_us tb2.Testbed.m -. busy0 in
   let copy_cost =
     float_of_int bytes
     *. tb2.Testbed.m.Machine.cost.Cost_model.copy_per_byte

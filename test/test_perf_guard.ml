@@ -1,0 +1,74 @@
+(* Loose wall-clock guard on the allocation fast path.
+
+   The claim under test is structural, not a benchmark number: a cached
+   allocation (pop from a size-class free list) must never cost more real
+   time than a fresh allocation (address-range carve + per-page frame
+   alloc + mapping). If the fast path regresses to scanning the parked
+   population — the O(n) behaviour this PR removed — the second scenario
+   below pushes it past the fresh path and the test fails.
+
+   Assertions compare the two measured paths against each other, never
+   against an absolute time, so CI machine speed does not matter. *)
+
+open Fbufs
+module Testbed = Fbufs_harness.Testbed
+
+let time_ns iters f =
+  (* One warmup pass keeps first-touch effects out of the measurement. *)
+  f ();
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  ((Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters, ())
+
+let alloc_free alloc dom npages () =
+  let fb = Allocator.alloc alloc ~npages in
+  Transfer.free fb ~dom
+
+(* Fresh-path baseline: uncached fbufs re-map every page on each cycle. *)
+let fresh_ns tb app =
+  let alloc = Testbed.allocator tb ~domains:[ app ] Fbuf.volatile_only in
+  let ns, () = time_ns 5_000 (alloc_free alloc app 8) in
+  ns
+
+let test_cached_not_slower_than_fresh () =
+  let tb = Testbed.create () in
+  let app = Testbed.user_domain tb "app" in
+  let fresh = fresh_ns tb app in
+  let cached = Testbed.allocator tb ~domains:[ app ] Fbuf.cached_volatile in
+  let ns, () = time_ns 5_000 (alloc_free cached app 8) in
+  Alcotest.(check bool)
+    (Printf.sprintf "cached alloc (%.0f ns) <= fresh alloc (%.0f ns)" ns fresh)
+    true (ns <= fresh)
+
+let test_cached_unaffected_by_large_mixed_free_list () =
+  let tb = Testbed.create () in
+  let app = Testbed.user_domain tb "app" in
+  let fresh = fresh_ns tb app in
+  let cached = Testbed.allocator tb ~domains:[ app ] Fbuf.cached_volatile in
+  (* Park ~900 one-page buffers in a *different* size class. An O(n) scan
+     of the parked population would have to wade through all of them on
+     every 8-page allocation; the size-class lookup never sees them. *)
+  let parked =
+    List.init 900 (fun _ -> Allocator.alloc cached ~npages:1)
+  in
+  List.iter (fun fb -> Transfer.free fb ~dom:app) parked;
+  let ns, () = time_ns 5_000 (alloc_free cached app 8) in
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "cached alloc with 900 parked strangers (%.0f ns) <= fresh (%.0f ns)"
+       ns fresh)
+    true (ns <= fresh)
+
+let () =
+  Alcotest.run "perf_guard"
+    [
+      ( "allocation fast path",
+        [
+          Alcotest.test_case "cached <= fresh" `Quick
+            test_cached_not_slower_than_fresh;
+          Alcotest.test_case "immune to free-list population" `Quick
+            test_cached_unaffected_by_large_mixed_free_list;
+        ] );
+    ]

@@ -279,7 +279,7 @@ let test_machine_charge_advances_clock_and_busy () =
   let m = Machine.create ~nframes:16 () in
   Machine.charge m 5.0;
   check fl "clock" 5.0 (Machine.now m);
-  check fl "busy" 5.0 m.Machine.busy_us
+  check fl "busy" 5.0 (Machine.busy_us m)
 
 let test_machine_load_accounting () =
   let m = Machine.create ~nframes:16 () in
