@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-json clean
+.PHONY: all build test check model-check bench bench-json clean
 
 all: build
 
@@ -12,6 +12,12 @@ test:
 # bench) and the full test suite passes.
 check:
 	dune build @all && dune runtest
+
+# Differential check against the reference model: seeds 1-3, normal and
+# adversary mode. Failures shrink to a minimal replayable sequence,
+# also written to counterexample.txt (CI uploads it as an artifact).
+model-check:
+	dune exec bin/fbufs_cli.exe -- check --quick --out counterexample.txt
 
 bench:
 	dune exec bench/main.exe

@@ -118,6 +118,68 @@ let trace_cmd =
       const run $ config $ bytes $ uncached $ window $ pdu_size $ nmsgs $ out
       $ jsonl_file)
 
+let check_cmd =
+  let seeds =
+    let doc = "Seed to check (repeatable). Default 1 (1, 2, 3 with --quick)." in
+    Arg.(value & opt_all int [] & info [ "seed" ] ~doc ~docv:"N")
+  in
+  let ops =
+    let doc = "Operations per run." in
+    Arg.(value & opt int 2000 & info [ "ops" ] ~doc ~docv:"K")
+  in
+  let adversary =
+    let doc =
+      "Include adversarial operations (unauthorized access, use after \
+       free, malformed DAGs, domain crashes, exhaustion)."
+    in
+    Arg.(value & flag & info [ "adversary" ] ~doc)
+  in
+  let quick =
+    let doc = "CI preset: each seed in both normal and adversary mode, at most 500 ops." in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let out =
+    let doc = "On failure, also write the shrunk counterexample to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~doc ~docv:"FILE")
+  in
+  let run seeds ops adversary quick out =
+    let seeds =
+      match seeds with [] -> if quick then [ 1; 2; 3 ] else [ 1 ] | l -> l
+    in
+    let ops = if quick then min ops 500 else ops in
+    let jobs =
+      if quick then List.concat_map (fun s -> [ (s, false); (s, true) ]) seeds
+      else List.map (fun s -> (s, adversary)) seeds
+    in
+    let failures =
+      List.filter_map
+        (fun (seed, adversary) ->
+          let o = Fbufs_check.run_seed ~seed ~ops ~adversary in
+          Format.printf "%a@." Fbufs_check.pp_outcome o;
+          if Fbufs_check.Driver.failed o.Fbufs_check.report then Some o
+          else None)
+        jobs
+    in
+    match failures with
+    | [] -> ()
+    | o :: _ ->
+        (match out with
+        | None -> ()
+        | Some file ->
+            let oc = open_out file in
+            let ppf = Format.formatter_of_out_channel oc in
+            Format.fprintf ppf "%a@." Fbufs_check.pp_outcome o;
+            close_out oc);
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Differential check of the fbuf stack against its reference model \
+          (randomized operation sequences; failures shrink to a minimal \
+          replayable sequence)")
+    Term.(const run $ seeds $ ops $ adversary $ quick $ out)
+
 let cmds =
   [
     cmd "table1" "Table 1: per-page transfer costs" (traced (thunk1 table1));
@@ -135,6 +197,7 @@ let cmds =
     cmd "info" "Print the calibrated cost model" Term.(const info_cmd $ const ());
     cmd "all" "Run every experiment" (traced (thunk1 all));
     trace_cmd;
+    check_cmd;
   ]
 
 let () =

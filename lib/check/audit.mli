@@ -1,0 +1,17 @@
+(** Structural invariant auditor.
+
+    Self-contained cross-check of the real allocators, region and
+    per-domain page tables — no reference model involved, so it can sweep
+    any live system. The invariants enforced are documented in DESIGN.md
+    section 7 ("Checked invariants"); keep the two lists in sync. *)
+
+type target = {
+  region : Fbufs.Region.t;
+  domains : Fbufs_vm.Pd.t list;
+      (** every domain that may map fbuf pages (include the kernel) *)
+  allocators : Fbufs.Allocator.t list;
+      (** every allocator over [region], including IPC meta allocators *)
+}
+
+val run : target -> string list
+(** All invariant violations found, oldest first; [[]] means clean. *)

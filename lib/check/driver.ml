@@ -1,0 +1,715 @@
+open Fbufs_sim
+open Fbufs_vm
+open Fbufs
+module Msg = Fbufs_msg.Msg
+module Integrated = Fbufs_msg.Integrated
+module Ipc = Fbufs_ipc.Ipc
+module Testbed = Fbufs_harness.Testbed
+
+(* The differential driver.
+
+   One deterministic world per replay: a machine seeded with the checker
+   seed, three user domains, four allocators covering the variant cross
+   product (cached_volatile on path a->b->c, cached_only on a->b, an
+   uncached volatile default allocator owned by a, and plain on b->c),
+   two a->b connections (Rebuild and Integrated), and a pageout daemon
+   watching the cached allocators. Physical memory is kept small (2048
+   frames) so memory pressure and pageout are ordinary events rather than
+   staged ones.
+
+   Each step resolves the op against the model, computes the expected
+   outcome (success, a documented refusal, zeros, or a protection fault),
+   runs the real operation, applies the model transition, and then diffs
+   every tracked buffer's observable state plus the allocator counters;
+   the full structural audit runs every [audit_every] steps and at the
+   end. All skips are deterministic functions of (seed, prefix), which is
+   what makes shrinking sound. *)
+
+exception Check_failed of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Check_failed s)) fmt
+
+type report = {
+  total : int;
+  executed : int;
+  skipped : int;
+  failure : (int * Op.t * string) option;
+}
+
+type state = {
+  m : Machine.t;
+  region : Region.t;
+  kernel : Pd.t;
+  doms : Pd.t array;  (* [| a; b; c |] *)
+  allocs : Allocator.t array;
+  conns : Ipc.conn array;
+  daemon : Pageout.t;
+  model : Model.t;
+  reals : (int, Fbuf.t) Hashtbl.t;  (* model key -> real fbuf *)
+  ps : int;
+  mutable next_eph : int;
+  mutable step : int;
+}
+
+let nframes = 2048
+let audit_every = 25
+
+let make_state ~seed =
+  let tb = Testbed.create ~name:"fbufs-check" ~nframes ~seed () in
+  let a = Testbed.user_domain tb "dom_a" in
+  let b = Testbed.user_domain tb "dom_b" in
+  let c = Testbed.user_domain tb "dom_c" in
+  let allocs =
+    [|
+      Testbed.allocator tb ~domains:[ a; b; c ] Fbuf.cached_volatile;
+      Testbed.allocator tb ~domains:[ a; b ] Fbuf.cached_only;
+      Testbed.allocator tb ~domains:[ a ] Fbuf.volatile_only;
+      Testbed.allocator tb ~domains:[ b; c ] Fbuf.plain;
+    |]
+  in
+  let conns =
+    [|
+      Ipc.connect tb.Testbed.region ~src:a ~dst:b ();
+      Ipc.connect tb.Testbed.region ~src:a ~dst:b ~mode:Ipc.Integrated ();
+    |]
+  in
+  let daemon = Pageout.create tb.Testbed.region () in
+  Pageout.register daemon allocs.(0);
+  Pageout.register daemon allocs.(1);
+  let spec i cached volatile path =
+    { Model.a_idx = i; a_cached = cached; a_volatile = volatile; a_path = path }
+  in
+  let model =
+    Model.create ~page_size:(Testbed.page_size tb)
+      [|
+        spec 0 true true [ a.Pd.id; b.Pd.id; c.Pd.id ];
+        spec 1 true false [ a.Pd.id; b.Pd.id ];
+        spec 2 false true [ a.Pd.id ];
+        spec 3 false false [ b.Pd.id; c.Pd.id ];
+      |]
+  in
+  {
+    m = tb.Testbed.m;
+    region = tb.Testbed.region;
+    kernel = tb.Testbed.kernel;
+    doms = [| a; b; c |];
+    allocs;
+    conns;
+    daemon;
+    model;
+    reals = Hashtbl.create 64;
+    ps = Testbed.page_size tb;
+    next_eph = 0;
+    step = 0;
+  }
+
+(* -- small helpers ----------------------------------------------------- *)
+
+let real st (mf : Model.fbuf) = Hashtbl.find st.reals mf.Model.key
+let mfs st p = List.filter p (Model.all st.model)
+
+let resolve l i =
+  match l with [] -> None | _ -> Some (List.nth l (i mod List.length l))
+
+let first_diff x y =
+  let n = min (Bytes.length x) (Bytes.length y) in
+  let rec go i =
+    if i >= n then n else if Bytes.get x i <> Bytes.get y i then i else go (i + 1)
+  in
+  go 0
+
+let phase_name = function
+  | Model.Active -> "Active"
+  | Model.Parked -> "Parked"
+  | Model.Dead -> "Dead"
+
+let state_name = function
+  | Fbuf.Active -> "Active"
+  | Fbuf.Cached_free -> "Cached_free"
+  | Fbuf.Dead -> "Dead"
+
+let free_frames st = Phys_mem.free_frames st.m.Machine.pmem
+
+(* One daemon sweep with observe-and-validate bookkeeping: the exact
+   victim set across allocators depends on the daemon's round-robin, so
+   instead of predicting it we check that everything that lost residency
+   was a reclaimable parked buffer and that the daemon's count agrees. *)
+let run_balance st =
+  let watched =
+    List.filter
+      (fun f -> f.Model.resident)
+      (Model.parked_of (Model.allocator st.model 0)
+      @ Model.parked_of (Model.allocator st.model 1))
+  in
+  let n = Pageout.balance st.daemon in
+  let gone =
+    List.filter
+      (fun mf ->
+        let fb = real st mf in
+        Vm_map.frame_of (Fbuf.originator fb).Pd.map ~vpn:fb.Fbuf.base_vpn = None)
+      watched
+  in
+  if List.length gone <> n then
+    fail
+      "balance: daemon reports %d reclaimed but %d parked buffers lost \
+       residency"
+      n (List.length gone);
+  List.iter (Model.apply_reclaim st.model) gone
+
+let ensure_frames st need =
+  if free_frames st < need + 16 then run_balance st;
+  free_frames st >= need
+
+(* Whole-range read by [dom], checked against the model's view. Returns
+   false when the read had to be skipped for lack of frames (originator
+   touch of a paged-out buffer under extreme pressure). *)
+let try_checked_read st (mf : Model.fbuf) (dom : Pd.t) =
+  if
+    dom.Pd.id = mf.Model.originator
+    && (not mf.Model.resident)
+    && not (ensure_frames st mf.Model.npages)
+  then false
+  else begin
+    let view = Model.read_view mf ~dom:dom.Pd.id in
+    let want = Model.expected_bytes st.model mf view in
+    let fb = real st mf in
+    let got = Access.read_bytes dom ~vaddr:(Fbuf.vaddr fb) ~len:(Fbuf.size fb) in
+    if not (Bytes.equal got want) then
+      fail "fbuf#%d read by %s diverges at byte %d (expected %s view)"
+        fb.Fbuf.id dom.Pd.name (first_diff got want)
+        (match view with Model.Content -> "content" | Model.Zeros -> "zeros");
+    true
+  end
+
+(* -- per-step observable diff ------------------------------------------ *)
+
+let diff_fbuf st (mf : Model.fbuf) =
+  let fb = real st mf in
+  (match (mf.Model.phase, fb.Fbuf.state) with
+  | Model.Active, Fbuf.Active
+  | Model.Parked, Fbuf.Cached_free
+  | Model.Dead, Fbuf.Dead ->
+      ()
+  | p, s ->
+      fail "fbuf#%d: model phase %s but real state %s" fb.Fbuf.id
+        (phase_name p) (state_name s));
+  if mf.Model.phase <> Model.Dead then begin
+    if fb.Fbuf.secured <> mf.Model.secured then
+      fail "fbuf#%d: secured flag %b, model says %b" fb.Fbuf.id fb.Fbuf.secured
+        mf.Model.secured;
+    Array.iter
+      (fun (d : Pd.t) ->
+        let rr = Fbuf.ref_count fb d and mr = Model.ref_count mf d.Pd.id in
+        if rr <> mr then
+          fail "fbuf#%d: %s holds %d refs, model says %d" fb.Fbuf.id d.Pd.name
+            rr mr)
+      st.doms;
+    if mf.Model.phase = Model.Parked && Fbuf.total_refs fb <> 0 then
+      fail "fbuf#%d: parked with %d refs" fb.Fbuf.id (Fbuf.total_refs fb);
+    (* The protection invariant: the originator is writable exactly when
+       the model says writing is allowed; receivers are never writable. *)
+    let orig = Fbuf.originator fb in
+    let vaddr = Fbuf.vaddr fb in
+    let real_w = Access.can_access orig ~vaddr ~write:true in
+    if real_w <> Model.may_write mf then
+      fail "fbuf#%d: originator %s %s write but model %s it" fb.Fbuf.id
+        orig.Pd.name
+        (if real_w then "can" else "cannot")
+        (if Model.may_write mf then "allows" else "forbids");
+    Array.iter
+      (fun (d : Pd.t) ->
+        if d.Pd.id <> mf.Model.originator
+           && Access.can_access d ~vaddr ~write:true
+        then fail "fbuf#%d: receiver %s has write access" fb.Fbuf.id d.Pd.name)
+      st.doms
+  end
+
+let diff_allocators st =
+  Array.iteri
+    (fun i ra ->
+      let ma = Model.allocator st.model i in
+      if Allocator.free_list_length ra <> Model.parked_len ma then
+        fail "allocator %d: free list %d, model says %d" i
+          (Allocator.free_list_length ra)
+          (Model.parked_len ma);
+      if Allocator.live_fbufs ra <> Model.live_count ma then
+        fail "allocator %d: %d live, model says %d" i (Allocator.live_fbufs ra)
+          (Model.live_count ma))
+    st.allocs
+
+let audit_target st =
+  {
+    Audit.region = st.region;
+    domains = st.kernel :: Array.to_list st.doms;
+    allocators =
+      Array.to_list st.allocs
+      @ List.filter_map Ipc.meta_allocator (Array.to_list st.conns);
+  }
+
+let run_audit st =
+  match Audit.run (audit_target st) with
+  | [] -> ()
+  | v :: _ as all ->
+      fail "audit: %d violation(s); first: %s" (List.length all) v
+
+(* -- expected refusals -------------------------------------------------- *)
+
+let refusal_matches r (e : exn) =
+  match (r, e) with
+  | Model.R_dead, Transfer.Dead_fbuf _ -> true
+  | Model.R_invalid, Invalid_argument _ -> true
+  | _ -> false
+
+let refusal_name = function
+  | Model.R_dead -> "Dead_fbuf"
+  | Model.R_invalid -> "Invalid_argument"
+
+let expect_refusal what r f =
+  match f () with
+  | () -> fail "%s: expected %s, but it succeeded" what (refusal_name r)
+  | exception e when refusal_matches r e -> ()
+  | exception (Check_failed _ as e) -> raise e
+  | exception e ->
+      fail "%s: expected %s, got %s" what (refusal_name r)
+        (Printexc.to_string e)
+
+(* -- operations --------------------------------------------------------- *)
+
+let pattern st (mf : Model.fbuf) =
+  let len = Model.size_bytes st.model mf in
+  let k = (st.step * 131) + (mf.Model.key * 17) + 1 in
+  Bytes.init len (fun i -> Char.chr ((k + i) land 0xff))
+
+let do_alloc st ~alloc ~npages =
+  let ai = alloc mod Array.length st.allocs in
+  let n = 1 + (npages mod 4) in
+  let ra = st.allocs.(ai) in
+  match Model.predict_alloc st.model ~alloc:ai ~npages:n with
+  | Some top ->
+      let fb = Allocator.alloc ra ~npages:n in
+      if fb.Fbuf.id <> top.Model.real_id then
+        fail "alloc %d: cache reuse order: got fbuf#%d, model expected #%d" ai
+          fb.Fbuf.id top.Model.real_id;
+      Model.commit_hit st.model top ~now:fb.Fbuf.last_alloc_us;
+      (* Reused contents must be exactly what was parked — or zeros after
+         a pageout. A stale-mapping or stale-content bug surfaces here. *)
+      ignore (try_checked_read st top (Fbuf.originator fb));
+      true
+  | None -> (
+      if not (ensure_frames st n) then false
+      else
+        match Allocator.alloc ra ~npages:n with
+        | fb ->
+            let orig = Fbuf.originator fb in
+            (* Fresh frames are not cleared (the paper's Table 1 excludes
+               zeroing); whatever is there now is the baseline content. *)
+            let contents =
+              Access.read_bytes orig ~vaddr:(Fbuf.vaddr fb)
+                ~len:(Fbuf.size fb)
+            in
+            let mf =
+              Model.commit_fresh st.model ~alloc:ai ~npages:n
+                ~real_id:fb.Fbuf.id ~contents ~now:fb.Fbuf.last_alloc_us
+            in
+            Hashtbl.replace st.reals mf.Model.key fb;
+            true
+        | exception (Region.Chunk_limit_exceeded _ | Region.Region_exhausted)
+          ->
+            (* A legal refusal under quota pressure; counters must be
+               untouched, which the post-step diff verifies. *)
+            false)
+
+let do_ipc st ~conn ~fbuf ~len =
+  let ci = conn mod Array.length st.conns in
+  let cn = st.conns.(ci) in
+  let s = Ipc.src cn and d = Ipc.dst cn in
+  let cands =
+    mfs st (fun f ->
+        f.Model.phase = Model.Active
+        && Model.ref_count f s.Pd.id > 0
+        && ((not f.Model.cached) || List.mem d.Pd.id f.Model.path))
+  in
+  match resolve cands fbuf with
+  | None -> false
+  | Some mf ->
+      if not (ensure_frames st (mf.Model.npages + 4)) then false
+      else begin
+        let fb = real st mf in
+        let wlen = 1 + (len mod Fbuf.size fb) in
+        let msg = Msg.of_fbuf fb ~off:0 ~len:wlen in
+        (* Ipc.call transfers before the handler runs; model it first. *)
+        (match Model.send_check mf ~src:s.Pd.id ~dst:d.Pd.id with
+        | Ok () -> ()
+        | Error _ -> fail "ipc: candidate unexpectedly unsendable");
+        Model.apply_send mf ~dst:d.Pd.id;
+        let view = Model.read_view mf ~dom:d.Pd.id in
+        let want_all = Model.expected_bytes st.model mf view in
+        let want = Bytes.sub want_all 0 wlen in
+        let received = ref None in
+        Ipc.call cn msg ~handler:(fun rm ->
+            received := Some rm;
+            let got = Msg.to_bytes rm ~as_:d in
+            if Bytes.length got <> wlen then
+              fail "ipc: delivered %d bytes, sent %d" (Bytes.length got) wlen;
+            if not (Bytes.equal got want) then
+              fail "ipc: delivered bytes diverge at %d" (first_diff got want);
+            (* Touch the whole range so the receiver's mapping state stays
+               binary (see the Model comment on partial touches). *)
+            let whole =
+              Access.read_bytes d ~vaddr:(Fbuf.vaddr fb) ~len:(Fbuf.size fb)
+            in
+            if not (Bytes.equal whole want_all) then
+              fail "ipc: receiver range read diverges at %d"
+                (first_diff whole want_all));
+        (match !received with
+        | None -> fail "ipc: handler never ran"
+        | Some rm -> Ipc.free_deferred cn rm);
+        Ipc.flush_deallocs cn;
+        Model.apply_free st.model mf ~dom:d.Pd.id;
+        true
+      end
+
+let do_bad_dag st ~kind =
+  let k = kind mod 5 in
+  if not (ensure_frames st 2) then false
+  else
+    let a = st.doms.(0) and b = st.doms.(1) in
+    match Allocator.alloc st.allocs.(2) ~npages:1 with
+    | exception (Region.Chunk_limit_exceeded _ | Region.Region_exhausted) ->
+        false
+    | fb -> (
+        let contents =
+          Access.read_bytes a ~vaddr:(Fbuf.vaddr fb) ~len:(Fbuf.size fb)
+        in
+        let mf =
+          Model.commit_fresh st.model ~alloc:2 ~npages:1 ~real_id:fb.Fbuf.id
+            ~contents ~now:fb.Fbuf.last_alloc_us
+        in
+        Hashtbl.replace st.reals mf.Model.key fb;
+        let base = Fbuf.vaddr fb in
+        let node tag w1 w2 =
+          let bts = Bytes.create Integrated.node_size in
+          Bytes.set_int32_le bts 0 (Int32.of_int tag);
+          Bytes.set_int32_le bts 4 (Int32.of_int w1);
+          Bytes.set_int32_le bts 8 (Int32.of_int w2);
+          Bytes.set_int32_le bts 12 0l;
+          bts
+        in
+        let cfg = Region.config st.region in
+        let region_end = (cfg.Region.base_vpn + cfg.Region.region_pages) * st.ps in
+        let root =
+          match k with
+          | 0 -> (cfg.Region.base_vpn * st.ps) - st.ps (* fully outside *)
+          | 1 -> region_end - 8 (* node record straddles the region end *)
+          | 2 ->
+              Access.write_bytes a ~vaddr:base (node 9 0 0);
+              base (* garbage tag *)
+          | 3 ->
+              Access.write_bytes a ~vaddr:base (node 2 base base);
+              base (* self-referential cat: a cycle *)
+          | _ ->
+              Access.write_bytes a ~vaddr:base (node 1 base 0x1000000);
+              base (* leaf whose length overruns its fbuf *)
+        in
+        mf.Model.expected <-
+          Access.read_bytes a ~vaddr:base ~len:(Fbuf.size fb);
+        Transfer.send fb ~src:a ~dst:b;
+        Model.apply_send mf ~dst:b.Pd.id;
+        if k >= 2 then
+          (* Deserialization reads the node page as the receiver. *)
+          ignore (Model.read_view mf ~dom:b.Pd.id);
+        let anomalies () =
+          let s = st.m.Machine.stats in
+          Stats.get s "integrated.bad_node"
+          + Stats.get s "integrated.cycle"
+          + Stats.get s "integrated.bad_data_ref"
+          + Stats.get s "integrated.budget_exhausted"
+        in
+        let before = anomalies () in
+        (match Integrated.deserialize st.region ~as_:b ~root_vaddr:root with
+        | msg ->
+            if not (Msg.is_empty msg) then
+              fail "bad DAG (kind %d) produced data" k;
+            if anomalies () <= before then
+              fail "bad DAG (kind %d) not counted as an anomaly" k
+        | exception e ->
+            fail "bad DAG (kind %d) escaped as exception: %s" k
+              (Printexc.to_string e));
+        Transfer.free fb ~dom:b;
+        Model.apply_free st.model mf ~dom:b.Pd.id;
+        Transfer.free fb ~dom:a;
+        Model.apply_free st.model mf ~dom:a.Pd.id;
+        true)
+
+let exec st (op : Op.t) =
+  match op with
+  | Op.Alloc { alloc; npages } -> do_alloc st ~alloc ~npages
+  | Op.Write { fbuf } -> (
+      match resolve (mfs st Model.may_write) fbuf with
+      | None -> false
+      | Some mf ->
+          if (not mf.Model.resident) && not (ensure_frames st mf.Model.npages)
+          then false
+          else begin
+            let fb = real st mf in
+            let data = pattern st mf in
+            Access.write_bytes (Fbuf.originator fb) ~vaddr:(Fbuf.vaddr fb) data;
+            mf.Model.expected <- data;
+            mf.Model.resident <- true;
+            true
+          end)
+  | Op.Read { fbuf; dom } -> (
+      match resolve (mfs st (fun f -> f.Model.phase <> Model.Dead)) fbuf with
+      | None -> false
+      | Some mf -> (
+          let readers =
+            List.filter
+              (fun (d : Pd.t) ->
+                d.Pd.id = mf.Model.originator
+                || Model.ref_count mf d.Pd.id > 0
+                || List.mem d.Pd.id mf.Model.mapped_in)
+              (Array.to_list st.doms)
+          in
+          match resolve readers dom with
+          | None -> false
+          | Some d -> try_checked_read st mf d))
+  | Op.Send { fbuf; src; dst } -> (
+      match resolve (Model.all st.model) fbuf with
+      | None -> false
+      | Some mf -> (
+          let s = st.doms.(src mod Array.length st.doms) in
+          let d = st.doms.(dst mod Array.length st.doms) in
+          let fb = real st mf in
+          match Model.send_check mf ~src:s.Pd.id ~dst:d.Pd.id with
+          | Ok () ->
+              Transfer.send fb ~src:s ~dst:d;
+              Model.apply_send mf ~dst:d.Pd.id;
+              true
+          | Error r ->
+              expect_refusal "send" r (fun () -> Transfer.send fb ~src:s ~dst:d);
+              true))
+  | Op.Secure { fbuf } -> (
+      match resolve (Model.all st.model) fbuf with
+      | None -> false
+      | Some mf -> (
+          let fb = real st mf in
+          match Model.secure_check mf with
+          | Ok () ->
+              Transfer.secure fb;
+              Model.apply_secure mf;
+              true
+          | Error r ->
+              expect_refusal "secure" r (fun () -> Transfer.secure fb);
+              true))
+  | Op.Free { fbuf; dom } -> (
+      match resolve (Model.all st.model) fbuf with
+      | None -> false
+      | Some mf -> (
+          let d = st.doms.(dom mod Array.length st.doms) in
+          let fb = real st mf in
+          match Model.free_check mf ~dom:d.Pd.id with
+          | Ok () ->
+              Transfer.free fb ~dom:d;
+              Model.apply_free st.model mf ~dom:d.Pd.id;
+              true
+          | Error r ->
+              expect_refusal "free" r (fun () -> Transfer.free fb ~dom:d);
+              true))
+  | Op.Reclaim { alloc; max_fbufs } ->
+      let ai = alloc mod Array.length st.allocs in
+      let maxf = 1 + (max_fbufs mod 3) in
+      let victims = Model.reclaim_victims st.model ~alloc:ai ~max_fbufs:maxf in
+      let n = Allocator.reclaim st.allocs.(ai) ~max_fbufs:maxf () in
+      if n <> List.length victims then
+        fail "reclaim: %d buffers reclaimed, model predicted %d" n
+          (List.length victims);
+      List.iter
+        (fun mf ->
+          let fb = real st mf in
+          if
+            Vm_map.frame_of (Fbuf.originator fb).Pd.map ~vpn:fb.Fbuf.base_vpn
+            <> None
+          then fail "reclaim: victim fbuf#%d kept its frames" fb.Fbuf.id;
+          Model.apply_reclaim st.model mf)
+        victims;
+      true
+  | Op.Balance ->
+      run_balance st;
+      true
+  | Op.Ipc { conn; fbuf; len } -> do_ipc st ~conn ~fbuf ~len
+  | Op.Read_unref { fbuf; dom } -> (
+      match resolve (mfs st (fun f -> f.Model.phase <> Model.Dead)) fbuf with
+      | None -> false
+      | Some mf -> (
+          let outsiders =
+            List.filter
+              (fun (d : Pd.t) ->
+                d.Pd.id <> mf.Model.originator
+                && Model.ref_count mf d.Pd.id = 0
+                && not (List.mem d.Pd.id mf.Model.mapped_in))
+              (Array.to_list st.doms)
+          in
+          match resolve outsiders dom with
+          | None -> false
+          | Some d -> (
+              match Model.read_view mf ~dom:d.Pd.id with
+              | Model.Content -> fail "read_unref: model grants content"
+              | Model.Zeros ->
+                  let fb = real st mf in
+                  let got =
+                    Access.read_bytes d ~vaddr:(Fbuf.vaddr fb)
+                      ~len:(Fbuf.size fb)
+                  in
+                  if not (Bytes.equal got (Bytes.make (Fbuf.size fb) '\000'))
+                  then
+                    fail
+                      "fbuf#%d: unauthorized read by %s leaked data at byte %d"
+                      fb.Fbuf.id d.Pd.name
+                      (first_diff got (Bytes.make (Fbuf.size fb) '\000'));
+                  true)))
+  | Op.Write_foreign { fbuf; dom } -> (
+      match resolve (mfs st (fun f -> f.Model.phase <> Model.Dead)) fbuf with
+      | None -> false
+      | Some mf -> (
+          let others =
+            List.filter
+              (fun (d : Pd.t) -> d.Pd.id <> mf.Model.originator)
+              (Array.to_list st.doms)
+          in
+          match resolve others dom with
+          | None -> false
+          | Some d ->
+              let fb = real st mf in
+              (match
+                 Access.write_bytes d ~vaddr:(Fbuf.vaddr fb)
+                   (Bytes.make 4 'X')
+               with
+              | () ->
+                  fail "fbuf#%d: foreign write by %s succeeded" fb.Fbuf.id
+                    d.Pd.name
+              | exception Vm_map.Protection_violation _ -> ());
+              true))
+  | Op.Use_after_free { fbuf; write } -> (
+      let live_ranges =
+        List.filter_map
+          (fun f ->
+            if f.Model.phase = Model.Dead then None
+            else
+              let fb = real st f in
+              Some (fb.Fbuf.base_vpn, fb.Fbuf.npages))
+          (Model.all st.model)
+      in
+      let cands =
+        mfs st (fun f ->
+            f.Model.phase = Model.Dead
+            &&
+            let fb = real st f in
+            not
+              (List.exists
+                 (fun (b, n) ->
+                   b < fb.Fbuf.base_vpn + fb.Fbuf.npages
+                   && fb.Fbuf.base_vpn < b + n)
+                 live_ranges))
+      in
+      match resolve cands fbuf with
+      | None -> false
+      | Some mf ->
+          let fb = real st mf in
+          let orig = Fbuf.originator fb in
+          if write then (
+            match
+              Access.write_bytes orig ~vaddr:(Fbuf.vaddr fb) (Bytes.make 4 'X')
+            with
+            | () -> fail "fbuf#%d: use-after-free write succeeded" fb.Fbuf.id
+            | exception Vm_map.Protection_violation _ -> ())
+          else begin
+            let got =
+              Access.read_bytes orig ~vaddr:(Fbuf.vaddr fb) ~len:(Fbuf.size fb)
+            in
+            if not (Bytes.equal got (Bytes.make (Fbuf.size fb) '\000')) then
+              fail "fbuf#%d: use-after-free read leaked stale bytes" fb.Fbuf.id
+          end;
+          true)
+  | Op.Crash { fbuf } -> (
+      let cands =
+        mfs st (fun f ->
+            f.Model.phase = Model.Active
+            && (not f.Model.cached)
+            && List.exists
+                 (fun (d : Pd.t) -> Model.ref_count f d.Pd.id > 0)
+                 (Array.to_list st.doms))
+      in
+      match resolve cands fbuf with
+      | None -> false
+      | Some mf ->
+          let fb = real st mf in
+          let holder =
+            List.find
+              (fun (d : Pd.t) -> Model.ref_count mf d.Pd.id > 0)
+              (Array.to_list st.doms)
+          in
+          let eph = Pd.create st.m (Printf.sprintf "eph%d" st.next_eph) in
+          st.next_eph <- st.next_eph + 1;
+          Region.register_domain st.region eph;
+          Transfer.send fb ~src:holder ~dst:eph;
+          Model.apply_send mf ~dst:eph.Pd.id;
+          Lifecycle.terminate_domain st.region eph ~allocators:[];
+          Model.apply_free st.model mf ~dom:eph.Pd.id;
+          if Lifecycle.orphaned_references st.region eph <> 0 then
+            fail "crash: terminated domain still holds references";
+          if eph.Pd.live then fail "crash: domain still marked live";
+          true)
+  | Op.Bad_dag { kind } -> do_bad_dag st ~kind
+  | Op.Exhaust { alloc } -> (
+      let ai = alloc mod Array.length st.allocs in
+      match Allocator.alloc st.allocs.(ai) ~npages:2048 with
+      | _ -> fail "exhaust: oversized allocation was granted"
+      | exception Region.Chunk_limit_exceeded _ -> true
+      | exception Region.Region_exhausted -> true)
+
+(* -- the replay loop ---------------------------------------------------- *)
+
+let replay ~seed ops =
+  let st = make_state ~seed in
+  let total = List.length ops in
+  let executed = ref 0 and skipped = ref 0 in
+  let failure = ref None in
+  (try
+     List.iteri
+       (fun i op ->
+         st.step <- i;
+         let ran =
+           try exec st op with
+           | Check_failed _ as e -> raise e
+           | e -> fail "unexpected exception: %s" (Printexc.to_string e)
+         in
+         if ran then incr executed else incr skipped;
+         diff_allocators st;
+         List.iter (diff_fbuf st) (Model.all st.model);
+         if i mod audit_every = audit_every - 1 then run_audit st)
+       ops;
+     run_audit st
+   with Check_failed msg ->
+     failure := Some (st.step, List.nth ops st.step, msg));
+  { total; executed = !executed; skipped = !skipped; failure = !failure }
+
+let gen_ops ~seed ~n ~adversary =
+  (* The op stream is forked off the seed so it is independent of every
+     other consumer of randomness (the machine's TLB draws in particular):
+     replaying a shrunk subsequence regenerates nothing. *)
+  let rng = Rng.fork (Rng.create seed) 1 in
+  Op.gen_list rng ~adversary ~n
+
+let run ~seed ~ops ~adversary =
+  let l = gen_ops ~seed ~n:ops ~adversary in
+  (replay ~seed l, l)
+
+let failed r = r.failure <> None
+
+let pp_report ppf r =
+  match r.failure with
+  | None ->
+      Fmt.pf ppf "ok: %d ops (%d executed, %d skipped)" r.total r.executed
+        r.skipped
+  | Some (step, op, msg) ->
+      Fmt.pf ppf "FAIL at step %d on %a:@ %s" step Op.pp op msg

@@ -1,0 +1,95 @@
+(** Pure reference model of fbuf semantics.
+
+    An executable restatement of the paper's transfer rules — immutability
+    after transfer, copy semantics by sharing, lazy protection raise,
+    cached reuse, dead-page reads for invalid references, pageout of
+    parked buffers — with no dependency on the real stack. The driver
+    applies every operation to both and diffs observable state; the model
+    also predicts which refusals ([Dead_fbuf], [Invalid_argument],
+    protection violations) the real stack must raise. *)
+
+type phase = Active | Parked | Dead
+
+type fbuf = {
+  key : int;  (** stable driver handle *)
+  alloc : int;
+  npages : int;
+  cached : bool;
+  volatile : bool;
+  originator : int;  (** Pd ids throughout *)
+  path : int list;
+  mutable real_id : int;
+  mutable phase : phase;
+  mutable secured : bool;
+  mutable refs : (int * int) list;
+  mutable mapped_in : int list;  (** granted receivers *)
+  mutable materialized : int list;
+      (** receivers holding live-frame mappings from a touch while the
+          originator's frames were resident *)
+  mutable stale_zero : int list;
+      (** domains whose touch resolved to the dead page; they read zeros
+          until those mappings are cleared *)
+  mutable expected : bytes;
+  mutable resident : bool;
+  mutable last_alloc_us : float;
+}
+
+type alloc_spec = {
+  a_idx : int;
+  a_cached : bool;
+  a_volatile : bool;
+  a_path : int list;  (** Pd ids, originator first *)
+}
+
+type allocator
+
+type t
+
+val create : page_size:int -> alloc_spec array -> t
+val all : t -> fbuf list
+(** Every buffer ever allocated (including dead ones), creation order. *)
+
+val allocator : t -> int -> allocator
+val size_bytes : t -> fbuf -> int
+val ref_count : fbuf -> int -> int
+val total_refs : fbuf -> int
+val holders : fbuf -> int list
+
+val parked_of : allocator -> fbuf list
+val parked_len : allocator -> int
+val live_count : allocator -> int
+
+val predict_alloc : t -> alloc:int -> npages:int -> fbuf option
+(** [Some fb]: the real allocator must reuse exactly this parked buffer;
+    [None]: it must take the fresh path. *)
+
+val commit_hit : t -> fbuf -> now:float -> unit
+val commit_fresh :
+  t -> alloc:int -> npages:int -> real_id:int -> contents:bytes ->
+  now:float -> fbuf
+
+val may_write : fbuf -> bool
+(** Whether the originator's write must succeed (vs. fault). *)
+
+type view = Content | Zeros
+
+val read_view : fbuf -> dom:int -> view
+(** What a whole-range read by [dom] must return; also applies the
+    mapping-state transition the touch causes (materialization or a
+    dead-page mapping). *)
+
+val expected_bytes : t -> fbuf -> view -> bytes
+
+type refusal = R_dead | R_invalid
+
+val send_check : fbuf -> src:int -> dst:int -> (unit, refusal) result
+val apply_send : fbuf -> dst:int -> unit
+val secure_check : fbuf -> (unit, refusal) result
+val apply_secure : fbuf -> unit
+val free_check : fbuf -> dom:int -> (unit, refusal) result
+val apply_free : t -> fbuf -> dom:int -> unit
+
+val reclaim_victims : t -> alloc:int -> max_fbufs:int -> fbuf list
+(** The exact buffers [Allocator.reclaim] must page out, LRU order. *)
+
+val apply_reclaim : t -> fbuf -> unit

@@ -1,0 +1,88 @@
+open Fbufs_sim
+
+(* The checker's operation vocabulary.
+
+   Every index field ([fbuf], [dom], [alloc], ...) is a raw non-negative
+   integer that the driver resolves modulo the relevant candidate list at
+   execution time. This indirection is what makes shrinking sound: any
+   subsequence of a generated sequence is itself executable (an index never
+   dangles, it just resolves to a different candidate or to a skip when the
+   candidate list is empty), so delta debugging can delete operations
+   freely and replay the remainder. *)
+
+type t =
+  | Alloc of { alloc : int; npages : int }
+  | Write of { fbuf : int }
+  | Read of { fbuf : int; dom : int }
+  | Send of { fbuf : int; src : int; dst : int }
+  | Secure of { fbuf : int }
+  | Free of { fbuf : int; dom : int }
+  | Reclaim of { alloc : int; max_fbufs : int }
+  | Balance
+  | Ipc of { conn : int; fbuf : int; len : int }
+  | Read_unref of { fbuf : int; dom : int }
+  | Write_foreign of { fbuf : int; dom : int }
+  | Use_after_free of { fbuf : int; write : bool }
+  | Crash of { fbuf : int }
+  | Bad_dag of { kind : int }
+  | Exhaust of { alloc : int }
+
+(* Printed as valid OCaml so a failing sequence can be pasted back into a
+   test as a [Fbufs_check.Op.t list] literal. *)
+let pp ppf op =
+  match op with
+  | Alloc { alloc; npages } ->
+      Fmt.pf ppf "Alloc { alloc = %d; npages = %d }" alloc npages
+  | Write { fbuf } -> Fmt.pf ppf "Write { fbuf = %d }" fbuf
+  | Read { fbuf; dom } -> Fmt.pf ppf "Read { fbuf = %d; dom = %d }" fbuf dom
+  | Send { fbuf; src; dst } ->
+      Fmt.pf ppf "Send { fbuf = %d; src = %d; dst = %d }" fbuf src dst
+  | Secure { fbuf } -> Fmt.pf ppf "Secure { fbuf = %d }" fbuf
+  | Free { fbuf; dom } -> Fmt.pf ppf "Free { fbuf = %d; dom = %d }" fbuf dom
+  | Reclaim { alloc; max_fbufs } ->
+      Fmt.pf ppf "Reclaim { alloc = %d; max_fbufs = %d }" alloc max_fbufs
+  | Balance -> Fmt.pf ppf "Balance"
+  | Ipc { conn; fbuf; len } ->
+      Fmt.pf ppf "Ipc { conn = %d; fbuf = %d; len = %d }" conn fbuf len
+  | Read_unref { fbuf; dom } ->
+      Fmt.pf ppf "Read_unref { fbuf = %d; dom = %d }" fbuf dom
+  | Write_foreign { fbuf; dom } ->
+      Fmt.pf ppf "Write_foreign { fbuf = %d; dom = %d }" fbuf dom
+  | Use_after_free { fbuf; write } ->
+      Fmt.pf ppf "Use_after_free { fbuf = %d; write = %b }" fbuf write
+  | Crash { fbuf } -> Fmt.pf ppf "Crash { fbuf = %d }" fbuf
+  | Bad_dag { kind } -> Fmt.pf ppf "Bad_dag { kind = %d }" kind
+  | Exhaust { alloc } -> Fmt.pf ppf "Exhaust { alloc = %d }" alloc
+
+let pp_list ppf ops =
+  Fmt.pf ppf "@[<v 2>[@,%a@]@,]"
+    (Fmt.list ~sep:(Fmt.any ";@,") pp)
+    ops
+
+let gen rng ~adversary =
+  let r n = Rng.int rng n in
+  let idx () = r 1_000_000 in
+  let normal pick =
+    if pick < 18 then Alloc { alloc = idx (); npages = idx () }
+    else if pick < 32 then Write { fbuf = idx () }
+    else if pick < 46 then Read { fbuf = idx (); dom = idx () }
+    else if pick < 60 then Send { fbuf = idx (); src = idx (); dst = idx () }
+    else if pick < 66 then Secure { fbuf = idx () }
+    else if pick < 84 then Free { fbuf = idx (); dom = idx () }
+    else if pick < 88 then Reclaim { alloc = idx (); max_fbufs = idx () }
+    else if pick < 91 then Balance
+    else Ipc { conn = idx (); fbuf = idx (); len = idx () }
+  in
+  if not adversary then normal (r 100)
+  else
+    let pick = r 130 in
+    if pick < 100 then normal pick
+    else if pick < 107 then Read_unref { fbuf = idx (); dom = idx () }
+    else if pick < 114 then Write_foreign { fbuf = idx (); dom = idx () }
+    else if pick < 120 then Use_after_free { fbuf = idx (); write = r 2 = 1 }
+    else if pick < 124 then Crash { fbuf = idx () }
+    else if pick < 128 then Bad_dag { kind = idx () }
+    else Exhaust { alloc = idx () }
+
+let gen_list rng ~adversary ~n =
+  List.init n (fun _ -> gen rng ~adversary)

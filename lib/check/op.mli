@@ -1,0 +1,52 @@
+(** The differential checker's operation vocabulary.
+
+    An operation names its targets with raw non-negative integers that the
+    driver resolves modulo the candidate list existing at execution time
+    (skipping the op when the list is empty). Indices therefore never
+    dangle, which makes {e any} subsequence of a failing sequence
+    replayable — the property the shrinker's delta debugging relies on. *)
+
+type t =
+  | Alloc of { alloc : int; npages : int }
+      (** Allocate from an allocator; sizes resolve to 1–4 pages. *)
+  | Write of { fbuf : int }  (** Originator writes the whole buffer. *)
+  | Read of { fbuf : int; dom : int }
+      (** A domain with (possibly indirect) access reads the buffer. *)
+  | Send of { fbuf : int; src : int; dst : int }
+      (** Transfer with copy semantics; also exercises the documented
+          refusals (no reference, src = dst, off-path cached send). *)
+  | Secure of { fbuf : int }  (** Receiver-raise of protection. *)
+  | Free of { fbuf : int; dom : int }
+  | Reclaim of { alloc : int; max_fbufs : int }
+      (** Direct pageout of parked buffers from one allocator. *)
+  | Balance  (** One pageout-daemon sweep. *)
+  | Ipc of { conn : int; fbuf : int; len : int }
+      (** Full call: send (Rebuild or Integrated), handler read,
+          deferred-free, flush. *)
+  | Read_unref of { fbuf : int; dom : int }
+      (** Adversary: a domain without rights reads — must see zeros. *)
+  | Write_foreign of { fbuf : int; dom : int }
+      (** Adversary: a non-originator writes — must fault. *)
+  | Use_after_free of { fbuf : int; write : bool }
+      (** Adversary: touch a dead buffer's (unrecycled) addresses. *)
+  | Crash of { fbuf : int }
+      (** Adversary: a fresh domain receives a buffer and terminates
+          abruptly mid-path; the kernel sweep must reclaim its refs. *)
+  | Bad_dag of { kind : int }
+      (** Adversary: deserialize a malformed integrated DAG (out-of-region
+          root, region-boundary node, garbage tag, cycle, bad data ref). *)
+  | Exhaust of { alloc : int }
+      (** Adversary: an allocation too large for the chunk quota must be
+          refused with no state change. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints valid OCaml constructor syntax. *)
+
+val pp_list : Format.formatter -> t list -> unit
+(** Prints a replayable [Op.t list] literal. *)
+
+val gen : Fbufs_sim.Rng.t -> adversary:bool -> t
+(** One weighted-random operation; [adversary] enables the fault-injection
+    vocabulary on top of the normal mix. *)
+
+val gen_list : Fbufs_sim.Rng.t -> adversary:bool -> n:int -> t list

@@ -261,6 +261,12 @@ let reclaim t ?(older_than_us = 0.0) ~max_fbufs () =
       "fbuf.reclaim";
   take
 
+(* Read-only introspection for the Fbufs_check invariant auditor. *)
+let parked = parked_fbufs
+let free_extents t = t.extents
+let owned_chunks t = t.chunks
+let is_torn_down t = t.torn_down
+
 let teardown t =
   if t.torn_down then invalid_arg "Allocator.teardown: already torn down";
   t.torn_down <- true;

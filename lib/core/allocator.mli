@@ -41,6 +41,24 @@ val alloc : t -> npages:int -> Fbuf.t
 val free_list_length : t -> int
 val live_fbufs : t -> int
 
+(** {2 Introspection}
+
+    Read-only views consumed by the [Fbufs_check] invariant auditor; none
+    of these mutate allocator state. *)
+
+val parked : t -> Fbuf.t list
+(** Every fbuf currently parked on the free lists, in unspecified order. *)
+
+val free_extents : t -> (int * int) list
+(** The free [(base_vpn, npages)] address extents, base-sorted and
+    coalesced. *)
+
+val owned_chunks : t -> (int * int) list
+(** The [(base_vpn, nchunks)] chunk grants this allocator holds from the
+    region, most recent first. *)
+
+val is_torn_down : t -> bool
+
 val reclaim : t -> ?older_than_us:float -> max_fbufs:int -> unit -> int
 (** Pageout-daemon entry point: discard the physical memory of up to
     [max_fbufs] parked cached buffers, least recently used first,

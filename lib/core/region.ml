@@ -235,3 +235,14 @@ let registered_fbufs t =
     [] t.chunk_fbufs
 
 let dead_page_reads t = t.dead_reads
+
+(* Read-only introspection for the Fbufs_check invariant auditor. *)
+let nchunks t = t.nchunks
+let free_chunk_count t = t.free_count
+let dead_frame_id t = t.dead_frame
+let chunk_index t ~vpn = chunk_of t ~vpn
+
+let chunk_owner_id t ~chunk =
+  if chunk < 0 || chunk >= t.nchunks then
+    invalid_arg "Region.chunk_owner_id: chunk outside region";
+  t.chunk_owner.(chunk)

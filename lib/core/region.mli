@@ -69,3 +69,24 @@ val registered_fbufs : t -> Fbuf.t list
 
 val dead_page_reads : t -> int
 (** How many invalid reads were resolved to the dead page (diagnostics). *)
+
+(** {2 Introspection}
+
+    Read-only views consumed by the [Fbufs_check] invariant auditor. *)
+
+val nchunks : t -> int
+(** Total chunks in the region. *)
+
+val free_chunk_count : t -> int
+(** Chunks not currently owned by any allocator. *)
+
+val chunk_index : t -> vpn:int -> int
+(** The chunk covering a region page (no bounds check; compose with
+    {!in_region}). *)
+
+val chunk_owner_id : t -> chunk:int -> int option
+(** Owning domain id of a chunk, [None] if free. Raises
+    [Invalid_argument] outside the region. *)
+
+val dead_frame_id : t -> Fbufs_sim.Phys_mem.frame_id
+(** The shared zeroed frame backing invalid reads. *)

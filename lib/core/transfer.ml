@@ -18,6 +18,8 @@ let trace_fbuf_event (fb : Fbuf.t) ?(extra = []) ~domain kind =
       ~args:(("fbuf", Fbufs_trace.Trace.Int fb.Fbuf.id) :: extra)
       kind
 
+let chaos_skip_protect = ref false
+
 (* Revoke the originator's write permission (immutability enforcement). *)
 let protect_originator (fb : Fbuf.t) =
   let orig = Fbuf.originator fb in
@@ -25,6 +27,12 @@ let protect_originator (fb : Fbuf.t) =
   if orig.Pd.kernel then
     (* Trusted originator: enforcement is a no-op. *)
     Stats.incr (stats fb) "fbuf.secure_noop"
+  else if !chaos_skip_protect then
+    (* Fault injection: claim the buffer is secured without actually
+       revoking write permission — the bug class Fbufs_check exists to
+       catch. Bookkeeping below proceeds so the divergence is purely
+       between recorded and enforced protection state. *)
+    Stats.incr (stats fb) "fbuf.secured"
   else begin
     Vm_map.protect orig.Pd.map ~vpn:fb.base_vpn ~npages:fb.npages
       ~prot:Prot.Read_only;

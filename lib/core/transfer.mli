@@ -43,3 +43,10 @@ val reclaim_memory : Fbuf.t -> unit
     [Cached_free] fbuf (contents are dropped, not paged out — they are free
     buffers). The originator's pages become lazily zero-filled; receiver
     mappings are removed and will be re-established on the next send. *)
+
+val chaos_skip_protect : bool ref
+(** Test-only fault injection: when set, {!secure} and the eager
+    enforcement inside {!send} mark the fbuf secured {e without} actually
+    raising VM protection — the exact divergence the {!Fbufs_check}
+    differential checker exists to detect. Must stay [false] outside the
+    checker's self-test. *)

@@ -44,6 +44,7 @@ let connect region ~src ~dst ?(mode = Rebuild) ?(facility = Mach)
   }
 
 let facility c = c.facility
+let meta_allocator c = c.meta_alloc
 
 let src c = c.src
 let dst c = c.dst

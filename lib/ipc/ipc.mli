@@ -51,6 +51,10 @@ val connect :
 
 val facility : conn -> facility
 
+val meta_allocator : conn -> Fbufs.Allocator.t option
+(** The per-connection meta-buffer allocator ([Integrated] mode only), so
+    invariant audits can include its buffers in their sweeps. *)
+
 val src : conn -> Fbufs_vm.Pd.t
 val dst : conn -> Fbufs_vm.Pd.t
 val mode : conn -> mode

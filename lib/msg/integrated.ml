@@ -71,6 +71,16 @@ let in_region_vaddr region ~vaddr ~m =
   ignore m;
   Region.in_region region ~vpn:(vaddr / ps)
 
+(* A node record is [node_size] bytes, so both its first and last byte must
+   fall inside the region: a record starting within the last 15 bytes of
+   the region passes the single-page check yet its bulk read would cross
+   into non-region pages, where the dead-page defence does not apply. Such
+   a reference is malformed structure and must count as an anomaly, never
+   escape as a fault. *)
+let node_in_region region ~vaddr ~m =
+  in_region_vaddr region ~vaddr ~m
+  && in_region_vaddr region ~vaddr:(vaddr + node_size - 1) ~m
+
 let deserialize region ~as_ ~root_vaddr =
   let machine = Region.machine region in
   let ps = machine.Machine.cost.Cost_model.page_size in
@@ -83,7 +93,7 @@ let deserialize region ~as_ ~root_vaddr =
   in
   let rec node vaddr =
     if !budget <= 0 then bad "budget_exhausted"
-    else if not (in_region_vaddr region ~vaddr ~m:machine) then bad "bad_node"
+    else if not (node_in_region region ~vaddr ~m:machine) then bad "bad_node"
     else if Hashtbl.mem visited vaddr then bad "cycle"
     else begin
       decr budget;
@@ -137,7 +147,7 @@ let reachable_fbufs region ~as_ ~root_vaddr =
   let rec walk vaddr =
     if
       !budget > 0
-      && in_region_vaddr region ~vaddr ~m:machine
+      && node_in_region region ~vaddr ~m:machine
       && not (Hashtbl.mem visited vaddr)
     then begin
       decr budget;

@@ -29,8 +29,14 @@ val serialize :
 val deserialize :
   Fbufs.Region.t -> as_:Fbufs_vm.Pd.t -> root_vaddr:int -> Msg.t
 (** Rebuild a message by traversing the DAG with the receiving domain's own
-    access rights. Invalid references appear as absent data; anomalies are
-    counted under "integrated.bad_node" / "integrated.cycle". *)
+    access rights. Invalid references appear as absent data, {e never} as
+    an escaping exception: node references outside the region — including
+    records whose 16 bytes merely straddle the region's end — and data
+    references to pages holding no fbuf yield an empty message with an
+    anomaly stat bump ("integrated.bad_node" / "integrated.bad_data_ref" /
+    "integrated.cycle" / "integrated.budget_exhausted"), while references
+    to unmapped in-region pages read the zeroed dead page, whose tag 0
+    decodes as absence of data. *)
 
 val reachable_fbufs :
   Fbufs.Region.t -> as_:Fbufs_vm.Pd.t -> root_vaddr:int -> Fbufs.Fbuf.t list

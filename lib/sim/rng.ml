@@ -89,3 +89,20 @@ let bytes t n =
   b
 
 let split t = of_int64 (next t)
+
+(* Keyed substream derivation. Unlike [split], forking does NOT advance the
+   parent: the child seed is the splitmix64 finalizer applied to the
+   parent's *current* state perturbed by [key]. Inserting or removing fork
+   calls therefore leaves every subsequent parent draw byte-identical,
+   which is what lets the checker keep op generation, shrinking and
+   machine-level randomness on provably independent streams without
+   disturbing the golden draw sequences. Equal (state, key) pairs yield
+   equal children; use distinct keys for distinct subsystems. *)
+let fork t key =
+  let s =
+    Int64.logor (Int64.shift_left (Int64.of_int t.hi) 32) (Int64.of_int t.lo)
+  in
+  let s = Int64.add s (Int64.mul (Int64.add (Int64.of_int key) 1L) golden) in
+  let z = Int64.mul (Int64.logxor s (Int64.shift_right_logical s 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  of_int64 (Int64.logxor z (Int64.shift_right_logical z 31))

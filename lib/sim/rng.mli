@@ -24,4 +24,12 @@ val bytes : t -> int -> bytes
 (** [bytes t n] is [n] pseudo-random bytes. *)
 
 val split : t -> t
-(** Derive an independent generator (for parallel subsystems). *)
+(** Derive an independent generator (for parallel subsystems). [split]
+    draws from (and therefore advances) the parent stream. *)
+
+val fork : t -> int -> t
+(** [fork t key] derives an independent generator keyed by [key] {e without
+    advancing [t]}: the parent's subsequent draws are byte-identical
+    whether or not any forks were taken. Equal (parent state, key) pairs
+    yield equal substreams; distinct keys yield statistically independent
+    ones. This is the derivation the checker's shrinker relies on. *)
