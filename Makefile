@@ -1,4 +1,4 @@
-.PHONY: all build test check model-check bench bench-json clean
+.PHONY: all build test check lint model-check bench bench-json clean
 
 all: build
 
@@ -13,6 +13,13 @@ test:
 check:
 	dune build @all && dune runtest
 
+# Static fbuf-discipline analyzer: rules L1-L5 over the sources plus the
+# Layer-B abstract interpreter over the built-in data-path specs. The
+# shipped tree is clean, so the committed baseline is empty; a non-empty
+# baseline only papers over known findings while a fix is in flight.
+lint:
+	dune exec bin/fbufs_cli.exe -- lint --format text --baseline lint_baseline.json
+
 # Differential check against the reference model: seeds 1-3, normal and
 # adversary mode. Failures shrink to a minimal replayable sequence,
 # also written to counterexample.txt (CI uploads it as an artifact).
@@ -24,9 +31,9 @@ bench:
 
 # Full-quota benchmark run that also writes the machine-readable
 # trajectory (one JSON object per benchmark: name, ns_per_run, r_square,
-# date). BENCH_PR2.json is the committed snapshot for this PR.
+# date). BENCH_PR4.json is the committed snapshot for this PR.
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_PR2.json
+	dune exec bench/main.exe -- --json BENCH_PR4.json
 
 clean:
 	dune clean

@@ -180,6 +180,85 @@ let check_cmd =
           replayable sequence)")
     Term.(const run $ seeds $ ops $ adversary $ quick $ out)
 
+let lint_cmd =
+  let format =
+    let doc = "Output format: text or json." in
+    let fmt_conv =
+      Arg.conv
+        ( (function
+          | "text" -> Ok `Text
+          | "json" -> Ok `Json
+          | _ -> Error (`Msg "expected text or json")),
+          fun ppf f ->
+            Format.pp_print_string ppf
+              (match f with `Text -> "text" | `Json -> "json") )
+    in
+    Arg.(value & opt fmt_conv `Text & info [ "format" ] ~doc ~docv:"FMT")
+  in
+  let baseline =
+    let doc =
+      "Accepted-findings file (JSON array, normally lint_baseline.json). \
+       Only findings absent from it fail the run; matching ignores line \
+       numbers so entries survive unrelated edits."
+    in
+    Arg.(value & opt (some string) None & info [ "baseline" ] ~doc ~docv:"FILE")
+  in
+  let out =
+    let doc = "Also write every finding as JSON to $(docv) (CI artifact)." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~doc ~docv:"FILE")
+  in
+  let root =
+    let doc =
+      "Repository root to lint (default: nearest ancestor with a \
+       dune-project)."
+    in
+    Arg.(value & opt (some string) None & info [ "root" ] ~doc ~docv:"DIR")
+  in
+  let run format baseline out root =
+    let module L = Fbufs_lint in
+    let root =
+      match root with
+      | Some r -> r
+      | None -> (
+          match L.Driver.find_root () with
+          | Some r -> r
+          | None ->
+              Format.eprintf "lint: no dune-project above the working directory@.";
+              exit 2)
+    in
+    let findings = L.Driver.run ~root in
+    (match out with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        let ppf = Format.formatter_of_out_channel oc in
+        L.Driver.render_json ppf findings;
+        Format.pp_print_flush ppf ();
+        close_out oc);
+    let baseline =
+      match baseline with
+      | None -> []
+      | Some file -> (
+          try L.Driver.load_baseline file
+          with Sys_error e | Invalid_argument e ->
+            Format.eprintf "lint: bad baseline: %s@." e;
+            exit 2)
+    in
+    let fresh = L.Driver.unbaselined ~baseline findings in
+    (match format with
+    | `Text -> L.Driver.render_text Format.std_formatter fresh
+    | `Json -> L.Driver.render_json Format.std_formatter fresh);
+    if fresh <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static fbuf-discipline analysis: parsetree lint of the repo's \
+          sources (immutability, determinism, documented raises, \
+          reference pairing, no handle laundering) plus abstract \
+          interpretation of the declarative data-path specs")
+    Term.(const run $ format $ baseline $ out $ root)
+
 let cmds =
   [
     cmd "table1" "Table 1: per-page transfer costs" (traced (thunk1 table1));
@@ -198,6 +277,7 @@ let cmds =
     cmd "all" "Run every experiment" (traced (thunk1 all));
     trace_cmd;
     check_cmd;
+    lint_cmd;
   ]
 
 let () =

@@ -27,6 +27,9 @@ let () =
   let fb = Allocator.alloc alloc ~npages:2 in
   Fbuf_api.write fb ~as_:producer ~off:0 "hello from the producer domain";
   Transfer.send fb ~src:producer ~dst:consumer;
+  (* Volatile fbufs stay writable by the producer until secured; a consumer
+     that interprets the contents secures first (paper §3.2). *)
+  Transfer.secure fb;
   let seen = Fbuf_api.read_string fb ~as_:consumer ~off:0 ~len:30 in
   Printf.printf "consumer read: %S\n" seen;
   Printf.printf "same virtual address in both domains: %#x\n" (Fbuf.vaddr fb);
@@ -40,6 +43,7 @@ let () =
   Printf.printf "reused the same buffer: %b\n" (Fbuf.vaddr fb2 = Fbuf.vaddr fb);
   Fbuf_api.write fb2 ~as_:producer ~off:0 "round two, no page tables touched";
   Transfer.send fb2 ~src:producer ~dst:consumer;
+  Transfer.secure fb2;
   ignore (Fbuf_api.read_string fb2 ~as_:consumer ~off:0 ~len:33);
   Transfer.free fb2 ~dom:consumer;
   Transfer.free fb2 ~dom:producer;

@@ -54,6 +54,9 @@ let () =
     in
     tx_checksums := Msg.checksum adu ~as_:sim :: !tx_checksums;
     Ipc.call conn adu ~handler:(fun received ->
+        (* The checksum interprets the bytes, so secure the volatile
+           buffers against late producer writes first (paper §3.2). *)
+        List.iter Transfer.secure (Msg.fbufs received);
         rx_checksums := Msg.checksum received ~as_:analysis :: !rx_checksums;
         (* Record-at-a-time consumption via the generator interface. *)
         Msg.iter_units received ~as_:analysis ~unit_size:record_bytes

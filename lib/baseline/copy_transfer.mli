@@ -17,7 +17,9 @@ val create :
 
 val transfer : t -> bytes:int -> unit
 (** One transfer: the sender dirties one word per page of its buffer, the
-    data is copied in and out, and the receiver reads one word per page. *)
+    data is copied in and out, and the receiver reads one word per page.
+    Raises [Invalid_argument] if [bytes] exceeds the buffers sized at
+    {!create}. *)
 
 val verify_roundtrip : t -> string -> string
 (** Write a string into the source buffer, transfer, and read it back from

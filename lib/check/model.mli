@@ -64,6 +64,10 @@ val predict_alloc : t -> alloc:int -> npages:int -> fbuf option
     [None]: it must take the fresh path. *)
 
 val commit_hit : t -> fbuf -> now:float -> unit
+(** Confirm that the real allocator reused the predicted parked buffer.
+    Raises [Invalid_argument] if [fb] is not the buffer {!predict_alloc}
+    returned (a divergence in free-list order). *)
+
 val commit_fresh :
   t -> alloc:int -> npages:int -> real_id:int -> contents:bytes ->
   now:float -> fbuf

@@ -36,7 +36,8 @@ val region : t -> Region.t
 val alloc : t -> npages:int -> Fbuf.t
 (** Allocate an fbuf of exactly [npages] pages with one originator
     reference, writable by the originator. Reuses a cached buffer when one
-    of the right size is available. *)
+    of the right size is available. Raises [Invalid_argument] if the
+    allocator was torn down or [npages] is not positive. *)
 
 val free_list_length : t -> int
 val live_fbufs : t -> int

@@ -33,6 +33,8 @@ exception Chunk_limit_exceeded of string
 exception Region_exhausted
 
 val create : Fbufs_sim.Machine.t -> kernel:Fbufs_vm.Pd.t -> ?config:config -> unit -> t
+(** Raises [Invalid_argument] unless [region_pages] is a multiple of
+    [chunk_pages]. *)
 
 val machine : t -> Fbufs_sim.Machine.t
 val kernel : t -> Fbufs_vm.Pd.t
@@ -48,10 +50,13 @@ val alloc_chunks : t -> Fbufs_vm.Pd.t -> nchunks:int -> int
 (** Hand ownership of [nchunks] *contiguous* chunks to a domain; returns the
     base VPN. Charges kernel VM work, plus an IPC round trip when the
     requester is not the kernel (this is the rare slow path of the two-level
-    scheme). Raises {!Chunk_limit_exceeded} or {!Region_exhausted}. *)
+    scheme). Raises {!Chunk_limit_exceeded}, {!Region_exhausted}, or
+    [Invalid_argument] when [nchunks] is not positive. *)
 
 val free_chunks : t -> Fbufs_vm.Pd.t -> vpn:int -> nchunks:int -> unit
-(** Return chunk ownership (e.g. on path teardown). *)
+(** Return chunk ownership (e.g. on path teardown). Raises
+    [Invalid_argument] if the range falls outside the region or a chunk in
+    it is not owned by [dom]. *)
 
 val chunks_owned : t -> Fbufs_vm.Pd.t -> int
 

@@ -23,7 +23,9 @@ exception Dead_fbuf of string
 
 val send : Fbuf.t -> src:Fbufs_vm.Pd.t -> dst:Fbufs_vm.Pd.t -> unit
 (** Transfer with copy semantics. [src] must hold a reference; [dst] gains
-    one. For cached fbufs [dst] must belong to the fbuf's path. *)
+    one. For cached fbufs [dst] must belong to the fbuf's path. Raises
+    [Invalid_argument] when [src] holds no reference, [src] = [dst], or a
+    cached fbuf is sent off its path. *)
 
 val secure : Fbuf.t -> unit
 (** Ensure the originator can no longer modify the fbuf. Idempotent. *)
@@ -36,13 +38,15 @@ val free : Fbuf.t -> dom:Fbufs_vm.Pd.t -> unit
 
 val destroy_cached : Fbuf.t -> unit
 (** Fully tear down a [Cached_free] fbuf: remove every mapping, free the
-    frames. Used by allocator teardown and by memory-pressure eviction. *)
+    frames. Used by allocator teardown and by memory-pressure eviction.
+    Raises [Invalid_argument] if the fbuf is not on a free list. *)
 
 val reclaim_memory : Fbuf.t -> unit
 (** Pageout daemon interface: discard the physical memory of a
     [Cached_free] fbuf (contents are dropped, not paged out — they are free
     buffers). The originator's pages become lazily zero-filled; receiver
-    mappings are removed and will be re-established on the next send. *)
+    mappings are removed and will be re-established on the next send.
+    Raises [Invalid_argument] if the fbuf is not on a free list. *)
 
 val chaos_skip_protect : bool ref
 (** Test-only fault injection: when set, {!secure} and the eager

@@ -1,0 +1,59 @@
+module F = Finding
+
+let source_dirs = [ "lib"; "bin"; "examples"; "bench"; "test" ]
+
+let find_root () =
+  let rec up dir =
+    if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else up parent
+  in
+  up (Sys.getcwd ())
+
+(* Root-relative paths of every .ml under the source dirs, sorted for a
+   deterministic report order. *)
+let ml_files ~root =
+  let acc = ref [] in
+  let rec walk rel =
+    let abs = Filename.concat root rel in
+    if Sys.file_exists abs && Sys.is_directory abs then
+      Array.iter
+        (fun entry ->
+          if entry <> "" && entry.[0] <> '.' && entry <> "_build" then
+            let rel' = rel ^ "/" ^ entry in
+            let abs' = Filename.concat root rel' in
+            if Sys.is_directory abs' then walk rel'
+            else if Filename.check_suffix entry ".ml" then
+              acc := rel' :: !acc)
+        (Sys.readdir abs)
+  in
+  List.iter walk source_dirs;
+  List.sort String.compare !acc
+
+let run ~root =
+  let source =
+    List.concat_map (fun rel -> Rules.lint_file ~root rel) (ml_files ~root)
+  in
+  let specs = List.concat_map Pathspec.verify Pathspec.builtins in
+  List.sort_uniq F.compare (source @ specs)
+
+let render_text ppf findings =
+  List.iter (fun f -> Format.fprintf ppf "%a@." F.pp f) findings;
+  Format.fprintf ppf "%d finding(s)@." (List.length findings)
+
+let render_json ppf findings =
+  Format.fprintf ppf "%s@."
+    (Fbufs_trace.Json.to_string (F.list_to_json findings))
+
+let load_baseline path =
+  let ic = open_in_bin path in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  F.list_of_string s
+
+let unbaselined ~baseline findings =
+  List.filter (fun f -> not (F.baseline_mem ~baseline f)) findings

@@ -1,0 +1,27 @@
+(** Orchestration: lint the whole tree, render, apply the baseline.
+
+    [fbufs_cli lint] calls {!run} with the repository root (found by
+    walking up from the working directory to the nearest [dune-project]),
+    lints every [.ml] under [lib/], [bin/], [examples/], [bench/] and
+    [test/], verifies every {!Pathspec.builtins} spec, and fails on any
+    finding absent from the checked-in baseline ([lint_baseline.json],
+    shipped empty). *)
+
+val source_dirs : string list
+(** [lib; bin; examples; bench; test] — the roots scanned for sources. *)
+
+val find_root : unit -> string option
+(** Nearest ancestor of the working directory containing [dune-project]. *)
+
+val run : root:string -> Finding.t list
+(** All findings from both layers, sorted, duplicates removed. Skips
+    [_build] and dot-directories. *)
+
+val render_text : Format.formatter -> Finding.t list -> unit
+val render_json : Format.formatter -> Finding.t list -> unit
+
+val load_baseline : string -> Finding.t list
+(** Read a baseline file. Raises [Sys_error] if unreadable or
+    [Invalid_argument] if malformed. *)
+
+val unbaselined : baseline:Finding.t list -> Finding.t list -> Finding.t list

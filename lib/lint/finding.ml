@@ -1,0 +1,66 @@
+module Json = Fbufs_trace.Json
+
+type t = { rule : string; file : string; line : int; col : int; msg : string }
+
+let v ~rule ~file ~line ?(col = 0) msg = { rule; file; line; col; msg }
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule b.rule in
+        if c <> 0 then c else String.compare a.msg b.msg
+
+let pp ppf t =
+  Format.fprintf ppf "%s:%d:%d: %s: %s" t.file t.line t.col t.rule t.msg
+
+let to_json t =
+  Json.Obj
+    [
+      ("rule", Json.String t.rule);
+      ("file", Json.String t.file);
+      ("line", Json.Int t.line);
+      ("col", Json.Int t.col);
+      ("msg", Json.String t.msg);
+    ]
+
+let of_json j =
+  let str k =
+    match Json.member k j with
+    | Some (Json.String s) -> s
+    | _ -> invalid_arg ("Finding.of_json: missing string field " ^ k)
+  in
+  let int k =
+    match Json.member k j with
+    | Some (Json.Int i) -> i
+    | _ -> invalid_arg ("Finding.of_json: missing int field " ^ k)
+  in
+  {
+    rule = str "rule";
+    file = str "file";
+    line = int "line";
+    col = int "col";
+    msg = str "msg";
+  }
+
+let list_to_json ts = Json.List (List.map to_json ts)
+
+let list_of_string s =
+  let j =
+    try Json.parse s
+    with Json.Parse_error e -> invalid_arg ("Finding.list_of_string: " ^ e)
+  in
+  match j with
+  | Json.List l -> List.map of_json l
+  | _ -> invalid_arg "Finding.list_of_string: expected a JSON array"
+
+let baseline_mem ~baseline t =
+  List.exists
+    (fun b -> b.rule = t.rule && b.file = t.file && b.msg = t.msg)
+    baseline

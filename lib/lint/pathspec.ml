@@ -1,0 +1,408 @@
+module F = Finding
+
+type domain = string
+type prot = Ro | Rw
+
+type op =
+  | Write of domain
+  | Send of domain * domain
+  | Secure of domain
+  | Read of domain
+  | Touch of domain
+  | Free of domain
+  | Terminate of domain
+  | Append_ref of domain * [ `In_region | `Out_of_region ]
+
+type spec = {
+  name : string;
+  originator : domain;
+  trusted_originator : bool;
+  receivers : (domain * prot) list;
+  cached : bool;
+  volatile : bool;
+  ops : op list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Abstract interpreter                                                *)
+
+type state = {
+  refs : (domain, int) Hashtbl.t;
+  mutable secured : bool;
+  mutable orig_writable : bool;
+}
+
+let verify spec =
+  let file = "spec/" ^ spec.name in
+  let findings = ref [] in
+  let add ~rule ~line msg = findings := F.v ~rule ~file ~line msg :: !findings in
+  let domains = spec.originator :: List.map fst spec.receivers in
+  (* Configuration-level checks (line 0). *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun d ->
+      if Hashtbl.mem seen d then
+        add ~rule:"B0" ~line:0 (Printf.sprintf "duplicate domain %s" d)
+      else Hashtbl.add seen d ())
+    domains;
+  List.iter
+    (fun (d, prot) ->
+      if prot = Rw then
+        add ~rule:"B2" ~line:0
+          (Printf.sprintf
+             "receiver %s is mapped read-write: two domains could hold \
+              write permission simultaneously"
+             d))
+    spec.receivers;
+  let st =
+    { refs = Hashtbl.create 8; secured = false; orig_writable = true }
+  in
+  List.iter (fun d -> Hashtbl.replace st.refs d 0) domains;
+  Hashtbl.replace st.refs spec.originator 1;
+  let refs d = try Hashtbl.find st.refs d with Not_found -> 0 in
+  let known d = List.mem d domains in
+  (* One finding at most per op: a sequencing error (B0) preempts the
+     discipline rules so a malformed spec cannot cascade. *)
+  let step i op =
+    let line = i + 1 in
+    let need_ref d what =
+      if not (known d) then begin
+        add ~rule:"B0" ~line
+          (Printf.sprintf "%s by %s, which is not on the path" what d);
+        false
+      end
+      else if refs d = 0 then begin
+        add ~rule:"B0" ~line
+          (Printf.sprintf "%s by %s, which holds no reference" what d);
+        false
+      end
+      else true
+    in
+    match op with
+    | Write d ->
+        if need_ref d "write" then
+          if d <> spec.originator then
+            add ~rule:"B2" ~line
+              (Printf.sprintf
+                 "write by non-originator %s: only the originator may hold \
+                  write permission"
+                 d)
+          else if not st.orig_writable then
+            add ~rule:"B2" ~line
+              "originator write after its write permission was revoked \
+               (secure, or first send of a non-volatile fbuf)"
+    | Send (src, dst) ->
+        if need_ref src "send" then
+          if not (known dst) then
+            add ~rule:"B0" ~line
+              (Printf.sprintf "send to %s, which is not on the path" dst)
+          else begin
+            Hashtbl.replace st.refs dst (refs dst + 1);
+            if not spec.volatile then st.orig_writable <- false
+          end
+    | Secure d ->
+        if need_ref d "secure" && not spec.trusted_originator then begin
+          st.secured <- true;
+          st.orig_writable <- false
+        end
+    | Read d ->
+        if need_ref d "read" then
+          if
+            d <> spec.originator && spec.volatile && (not st.secured)
+            && not spec.trusted_originator
+          then
+            add ~rule:"B1" ~line
+              (Printf.sprintf
+                 "%s interprets a volatile fbuf before any secure: the \
+                  originator could still change the bytes underneath"
+                 d)
+    | Touch d -> ignore (need_ref d "touch")
+    | Free d ->
+        if need_ref d "free" then Hashtbl.replace st.refs d (refs d - 1)
+    | Terminate d ->
+        if known d then Hashtbl.replace st.refs d 0
+        else
+          add ~rule:"B0" ~line
+            (Printf.sprintf "terminate of %s, which is not on the path" d)
+    | Append_ref (d, target) ->
+        if need_ref d "append_ref" then
+          if target = `Out_of_region then
+            add ~rule:"B3" ~line
+              (Printf.sprintf
+                 "%s deposits an aggregate (DAG) reference that points \
+                  outside the fbuf region: the kernel can neither validate \
+                  nor transfer it"
+                 d)
+  in
+  List.iteri step spec.ops;
+  let final_line = List.length spec.ops in
+  List.iter
+    (fun d ->
+      let n = refs d in
+      if n > 0 then
+        add ~rule:"B0" ~line:final_line
+          (Printf.sprintf
+             "%s still holds %d reference(s) when the spec ends: every \
+              path must relinquish"
+             d n))
+    domains;
+  List.sort F.compare !findings
+
+(* ------------------------------------------------------------------ *)
+(* Declarative mirrors of the repo's own data paths                    *)
+
+let ro ds = List.map (fun d -> (d, Ro)) ds
+
+let builtins =
+  [
+    (* Figure 4 loopback stacks (lib/harness/stacks.ml). *)
+    {
+      name = "harness/fig4-single-domain";
+      originator = "host";
+      trusted_originator = false;
+      receivers = [];
+      cached = true;
+      volatile = true;
+      ops = [ Write "host"; Touch "host"; Free "host" ];
+    };
+    {
+      name = "harness/fig4-three-domain";
+      originator = "app";
+      trusted_originator = false;
+      receivers = ro [ "netserver"; "receiver" ];
+      cached = true;
+      volatile = true;
+      ops =
+        [
+          Write "app";
+          Send ("app", "netserver");
+          Send ("netserver", "receiver");
+          Touch "receiver";
+          Free "receiver";
+          Free "netserver";
+          Free "app";
+        ];
+    };
+    (* Figure 5 end-to-end configurations (lib/harness/exp_fig5.ml).
+       The tx and rx sides are distinct paths on distinct hosts. *)
+    {
+      name = "harness/fig5-kernel-kernel";
+      originator = "tx-kernel";
+      trusted_originator = true;
+      receivers = ro [ "tx-driver" ];
+      cached = true;
+      volatile = true;
+      ops =
+        [
+          Write "tx-kernel";
+          Send ("tx-kernel", "tx-driver");
+          Touch "tx-driver";
+          Free "tx-driver";
+          Free "tx-kernel";
+        ];
+    };
+    {
+      name = "harness/fig5-user-user-tx";
+      originator = "tx-app";
+      trusted_originator = false;
+      receivers = ro [ "tx-kernel" ];
+      cached = true;
+      volatile = true;
+      ops =
+        [
+          Write "tx-app";
+          Send ("tx-app", "tx-kernel");
+          Touch "tx-kernel";
+          Free "tx-kernel";
+          Free "tx-app";
+        ];
+    };
+    {
+      name = "harness/fig5-user-user-rx";
+      originator = "rx-kernel";
+      trusted_originator = true;
+      receivers = ro [ "rx-app" ];
+      cached = true;
+      volatile = true;
+      ops =
+        [
+          Write "rx-kernel";
+          Send ("rx-kernel", "rx-app");
+          (* Trusted (kernel) originator: interpreting without secure is
+             safe — secure is a no-op on this path. *)
+          Read "rx-app";
+          Free "rx-app";
+          Free "rx-kernel";
+        ];
+    };
+    {
+      name = "harness/fig5-user-netserver-user-tx";
+      originator = "tx-app";
+      trusted_originator = false;
+      receivers = ro [ "tx-netserver"; "tx-kernel" ];
+      cached = true;
+      volatile = true;
+      ops =
+        [
+          Write "tx-app";
+          Send ("tx-app", "tx-netserver");
+          (* The network server forwards: it never maps, reads or writes
+             the data pages. *)
+          Send ("tx-netserver", "tx-kernel");
+          Touch "tx-kernel";
+          Free "tx-kernel";
+          Free "tx-netserver";
+          Free "tx-app";
+        ];
+    };
+    {
+      name = "harness/fig5-user-netserver-user-rx";
+      originator = "rx-kernel";
+      trusted_originator = true;
+      receivers = ro [ "rx-netserver"; "rx-app" ];
+      cached = true;
+      volatile = true;
+      ops =
+        [
+          Write "rx-kernel";
+          Send ("rx-kernel", "rx-netserver");
+          Send ("rx-netserver", "rx-app");
+          Read "rx-app";
+          Free "rx-app";
+          Free "rx-netserver";
+          Free "rx-kernel";
+        ];
+    };
+    (* Figure 6: same topology, uncached non-volatile fbufs — the first
+       send revokes the originator's write permission eagerly, so no
+       secure is ever needed. *)
+    {
+      name = "harness/fig6-uncached-tx";
+      originator = "tx-app";
+      trusted_originator = false;
+      receivers = ro [ "tx-kernel" ];
+      cached = false;
+      volatile = false;
+      ops =
+        [
+          Write "tx-app";
+          Send ("tx-app", "tx-kernel");
+          Read "tx-kernel";
+          Free "tx-kernel";
+          Free "tx-app";
+        ];
+    };
+    (* Examples. *)
+    {
+      name = "examples/quickstart";
+      originator = "producer";
+      trusted_originator = false;
+      receivers = ro [ "consumer" ];
+      cached = true;
+      volatile = true;
+      ops =
+        [
+          Write "producer";
+          Send ("producer", "consumer");
+          Secure "consumer";
+          Read "consumer";
+          Free "consumer";
+          Free "producer";
+        ];
+    };
+    {
+      name = "examples/secure-pipeline-plaintext";
+      originator = "producer";
+      trusted_originator = false;
+      receivers = ro [ "cipher" ];
+      cached = true;
+      volatile = true;
+      ops =
+        [
+          Write "producer";
+          Send ("producer", "cipher");
+          Secure "cipher";
+          Read "cipher";
+          Free "cipher";
+          Free "producer";
+        ];
+    };
+    {
+      name = "examples/secure-pipeline-ciphertext";
+      originator = "cipher";
+      trusted_originator = false;
+      receivers = ro [ "store" ];
+      cached = true;
+      volatile = true;
+      ops =
+        [
+          Write "cipher";
+          Send ("cipher", "store");
+          (* The store archives ciphertext blindly; it interprets
+             nothing, so no secure is required. *)
+          Touch "store";
+          Free "store";
+          Free "cipher";
+        ];
+    };
+    {
+      name = "examples/video-server";
+      originator = "capture";
+      trusted_originator = false;
+      receivers = ro [ "compressor"; "display" ];
+      cached = true;
+      volatile = true;
+      ops =
+        [
+          Write "capture";
+          Send ("capture", "compressor");
+          (* Motion-estimation sampling and the display blit access
+             pixels without trusting them: torn frames are a glitch, not
+             a safety violation. *)
+          Touch "compressor";
+          Send ("compressor", "display");
+          Touch "display";
+          Free "display";
+          Free "compressor";
+          Free "capture";
+        ];
+    };
+    {
+      name = "examples/scientific-transfer";
+      originator = "simulation";
+      trusted_originator = false;
+      receivers = ro [ "analysis" ];
+      cached = true;
+      volatile = true;
+      ops =
+        [
+          Write "simulation";
+          (* The ADU is an aggregate of two joined buffers; both live in
+             the fbuf region. *)
+          Append_ref ("simulation", `In_region);
+          Send ("simulation", "analysis");
+          Secure "analysis";
+          Read "analysis";
+          Free "analysis";
+          Free "simulation";
+        ];
+    };
+    {
+      name = "examples/netserver-pipeline";
+      originator = "user-app";
+      trusted_originator = false;
+      receivers = ro [ "netserver"; "kernel" ];
+      cached = true;
+      volatile = true;
+      ops =
+        [
+          Write "user-app";
+          Send ("user-app", "netserver");
+          Send ("netserver", "kernel");
+          Touch "kernel";
+          Free "kernel";
+          Free "netserver";
+          Free "user-app";
+        ];
+    };
+  ]

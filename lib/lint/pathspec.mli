@@ -1,0 +1,74 @@
+(** Layer B: abstract interpretation of declarative data-path specs.
+
+    A {!spec} is a declarative description of one I/O data path — the
+    originator, the ordered receivers with the page protection their
+    mappings get, the fbuf variant, and the sequence of operations the
+    configuration performs. The verifier interprets the sequence over a
+    small per-domain lattice {e without executing anything}:
+
+    {v per domain: { holds_ref; may_write }   global: { secured } v}
+
+    and rejects:
+
+    - {b B1 — read before secure}: on a volatile path with an untrusted
+      originator, a receiver interprets buffer contents before any domain
+      raised protection with [secure] — the originator could still change
+      the bytes underneath (paper section 3.2).
+    - {b B2 — dual write permission}: a configuration under which two
+      domains could hold write permission simultaneously — a receiver
+      mapped read-write, a non-originator issuing a write, or an
+      originator writing after [secure] (paper section 3.1).
+    - {b B3 — escaping reference}: an aggregate-object (DAG) reference
+      that points outside the fbuf region, which the kernel could neither
+      validate nor transfer (paper section 3.2.3).
+
+    Sequencing errors that make a spec meaningless — operating on a
+    reference the domain does not hold, sending to a domain outside the
+    path, references still held when the sequence ends — are reported as
+    {b B0} so a typo in a spec cannot silently verify.
+
+    Findings use the synthetic file [spec/<name>] with the 1-based index
+    of the offending op as the line ([line 0] for configuration-level
+    errors such as a read-write receiver mapping). *)
+
+type domain = string
+type prot = Ro | Rw
+
+type op =
+  | Write of domain  (** originator fills (part of) the buffer *)
+  | Send of domain * domain  (** transfer a reference [src -> dst] *)
+  | Secure of domain  (** receiver raises protection before interpreting *)
+  | Read of domain
+      (** a domain {e interprets} buffer contents (validates, parses,
+          checksums against an expectation) — the access that must be
+          preceded by [Secure] on a volatile path *)
+  | Touch of domain
+      (** a domain accesses the bytes without trusting them — the paper's
+          receiver workload (touch a word per page, forward, blind copy);
+          needs a reference but no [Secure] *)
+  | Free of domain  (** relinquish the domain's reference *)
+  | Terminate of domain  (** kernel sweep: drops the domain's references *)
+  | Append_ref of domain * [ `In_region | `Out_of_region ]
+      (** the domain deposits a DAG reference into the aggregate *)
+
+type spec = {
+  name : string;
+  originator : domain;
+  trusted_originator : bool;
+      (** kernel-originated paths: [secure] is a no-op and reads are safe *)
+  receivers : (domain * prot) list;
+  cached : bool;
+  volatile : bool;
+  ops : op list;
+}
+
+val verify : spec -> Finding.t list
+(** Abstractly interpret [spec.ops]; empty list = the configuration obeys
+    the fbuf disciplines on every path. *)
+
+val builtins : spec list
+(** Declarative mirrors of the data paths wired by [lib/harness] and
+    [examples/]: the Figure 4 single- and three-domain loopback stacks,
+    the Figure 5/6 end-to-end configurations, and each example's
+    pipeline. Verified on every [fbufs_cli lint] run so a harness change
+    that breaks a discipline is caught before any code executes. *)

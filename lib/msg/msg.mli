@@ -66,7 +66,8 @@ val iter_units :
     consecutive application data units of [unit_size] bytes (last may be
     short). A unit contained in one leaf is read in place; only units that
     cross a fragment boundary pay an extra gather copy, which is recorded
-    in the machine's stats under "msg.unit_gather". *)
+    in the machine's stats under "msg.unit_gather". Raises
+    [Invalid_argument] when [unit_size] is not positive. *)
 
 val touch_read : t -> as_:Fbufs_vm.Pd.t -> unit
 (** Read one word per page spanned by each leaf — the paper's dummy

@@ -50,7 +50,8 @@ val register_path : t -> vci:int -> domains:Fbufs_vm.Pd.t list -> unit
     the I/O data path [domains] (kernel first). When all
     {!max_cached_paths} slots are taken, the least recently used path is
     evicted (its allocator torn down; its future traffic falls back to
-    uncached buffers until re-registered). *)
+    uncached buffers until re-registered). Raises [Invalid_argument] unless
+    [domains] starts with the kernel (incoming paths originate there). *)
 
 val evictions : t -> int
 (** How many cached paths have been evicted by LRU replacement. *)
@@ -63,12 +64,13 @@ val set_rx_handler : t -> (vci:int -> Fbufs_msg.Msg.t -> unit) -> unit
 val send_pdu : t -> vci:int -> Fbufs_msg.Msg.t -> unit
 (** Transmit a PDU: charges driver processing, then schedules cell
     transmission on the shared link; the caller's CPU is not blocked while
-    DMA runs. The message's buffers are not freed (the caller owns them). *)
+    DMA runs. The message's buffers are not freed (the caller owns them).
+    Raises [Invalid_argument] if the adapter is not connected to a peer. *)
 
 val set_loss_rate : t -> float -> unit
 (** Probability in [0, 1] that a transmitted PDU is lost on the wire (an
     ATM cell loss destroys the whole AAL5 frame). Deterministic per machine
-    seed. Default 0. *)
+    seed. Default 0. Raises [Invalid_argument] outside [0, 1]. *)
 
 val pdus_dropped : t -> int
 

@@ -29,7 +29,8 @@ val create :
   unit ->
   t
 (** [pdu_size] defaults to 4096 bytes of payload per fragment (the paper's
-    local-loopback configuration; the end-to-end tests use 16 KB). *)
+    local-loopback configuration; the end-to-end tests use 16 KB). Raises
+    [Invalid_argument] when [pdu_size] is not positive. *)
 
 val proto : t -> Fbufs_xkernel.Protocol.t
 (** Push fragments downward through [below]; wire [below]'s receive side to

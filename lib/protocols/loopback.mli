@@ -8,6 +8,8 @@
 type t
 
 val create : dom:Fbufs_vm.Pd.t -> unit -> t
+(** The returned protocol's push raises [Failure] if a message arrives
+    before {!set_up} has wired an upper protocol. *)
 
 val proto : t -> Fbufs_xkernel.Protocol.t
 val set_up : t -> Fbufs_xkernel.Protocol.t -> unit

@@ -11,7 +11,8 @@ val make_message :
 (** Allocate fbufs for a [bytes]-long message and initialize it: with
     [fill] absent, write one word in each page (the paper's originator
     workload); with [fill], tile the string across the whole payload (used
-    by integrity tests). *)
+    by integrity tests). Raises [Invalid_argument] when [bytes] is not
+    positive. *)
 
 type sink
 

@@ -69,6 +69,16 @@ let data t id =
   check_live t id "Phys_mem.data";
   t.frames.(id).data
 
+let poke t id off c =
+  check_live t id "Phys_mem.poke";
+  if off < 0 || off >= t.page_size then
+    invalid_arg "Phys_mem.poke: offset outside the page";
+  Bytes.set t.frames.(id).data off c
+
+let fill t id c =
+  check_live t id "Phys_mem.fill";
+  Bytes.fill t.frames.(id).data 0 t.page_size c
+
 let copy_frame t ~src ~dst =
   check_live t src "Phys_mem.copy_frame";
   check_live t dst "Phys_mem.copy_frame";

@@ -32,12 +32,23 @@ val decref : t -> frame_id -> unit
     reaches zero. *)
 
 val refcount : t -> frame_id -> int
+(** Raises [Invalid_argument] on a frame id outside the pool. *)
 
 val zero : t -> frame_id -> unit
 (** Fill the frame with zero bytes (mechanics only; charge separately). *)
 
 val data : t -> frame_id -> bytes
 (** The frame's backing store. Raises [Invalid_argument] for a free frame. *)
+
+val poke : t -> frame_id -> int -> char -> unit
+(** Set one payload byte directly — a test/debug backdoor below the
+    simulated MMU (no domain, no protection check), so frame-recycling
+    properties can be probed without a mapping. Raises [Invalid_argument]
+    for a free frame or an offset outside the page. *)
+
+val fill : t -> frame_id -> char -> unit
+(** Fill the whole frame with one byte; same backdoor caveats as {!poke}.
+    Raises [Invalid_argument] for a free frame. *)
 
 val copy_frame : t -> src:frame_id -> dst:frame_id -> unit
 (** Copy full page contents from [src] to [dst]. *)

@@ -13,7 +13,8 @@ val next : t -> int64
 (** Next raw 64-bit value. *)
 
 val int : t -> int -> int
-(** [int t bound] is uniform in [0, bound); [bound] must be positive. *)
+(** [int t bound] is uniform in [0, bound); raises [Invalid_argument]
+    unless [bound] is positive. *)
 
 val float : t -> float -> float
 (** [float t bound] is uniform in [0, bound). *)

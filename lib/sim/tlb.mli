@@ -20,7 +20,8 @@ type probe_result =
   | Miss  (** no entry for this (asid, vpn) *)
 
 val create : ?entries:int -> Rng.t -> t
-(** [entries] defaults to 64 (R3000). *)
+(** [entries] defaults to 64 (R3000); raises [Invalid_argument] when not
+    positive. *)
 
 val entries : t -> int
 

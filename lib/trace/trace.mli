@@ -42,7 +42,8 @@ type t
 val create : ?capacity:int -> unit -> t
 (** [capacity] bounds the number of buffered events; once full, further
     events are counted in {!dropped} but not stored (histograms still
-    update). Unbounded by default. *)
+    update). Unbounded by default. Raises [Invalid_argument] when
+    [capacity] is not positive. *)
 
 val clear : t -> unit
 val event_count : t -> int

@@ -14,10 +14,12 @@
     restricted dynamic read sharing relies on. *)
 
 val read_word : Pd.t -> vaddr:int -> int
-(** Load a 32-bit little-endian word. Must not cross a page boundary. *)
+(** Load a 32-bit little-endian word. Raises [Invalid_argument] if the
+    word crosses a page boundary. *)
 
 val write_word : Pd.t -> vaddr:int -> int -> unit
-(** Store a 32-bit little-endian word (low 32 bits of the argument). *)
+(** Store a 32-bit little-endian word (low 32 bits of the argument).
+    Raises [Invalid_argument] if the word crosses a page boundary. *)
 
 val read_bytes : Pd.t -> vaddr:int -> len:int -> bytes
 

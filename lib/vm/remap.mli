@@ -13,7 +13,8 @@ val move :
     reserved in the receiver (charging the address-range search the
     ping-pong benchmarks of prior work conveniently skipped). Returns the
     receiver-side base VPN. The receiver mapping is entered eagerly with
-    read-write protection. *)
+    read-write protection. Raises [Invalid_argument] when a source page has
+    no backing frame. *)
 
 val alloc_pages : Pd.t -> npages:int -> clear_fraction:float -> int
 (** Allocate fresh anonymous pages eagerly (reserve range, allocate frames,

@@ -51,7 +51,8 @@ val map_frame :
 
 val protect : t -> vpn:int -> npages:int -> prot:Prot.t -> unit
 (** Change protection. Valid pmap entries are updated in place (paying the
-    pmap protect cost and, on downgrade, a TLB shootdown per page). *)
+    pmap protect cost and, on downgrade, a TLB shootdown per page). Raises
+    [Invalid_argument] on an unmapped page. *)
 
 val unmap : t -> vpn:int -> npages:int -> free_frames:bool -> unit
 (** Remove mappings. With [free_frames], materialized frames lose one
@@ -63,7 +64,7 @@ val copy_cow : src:t -> dst:t -> vpn:int -> npages:int -> unit
     frames become shared and copy-on-write in both maps; physical map
     entries are invalidated lazily, so the next access in either domain
     faults ({!fault} then either re-enters read-only or performs the
-    physical copy). *)
+    physical copy). Raises [Invalid_argument] on an unmapped source page. *)
 
 val convert_zero_fill : t -> vpn:int -> npages:int -> unit
 (** Pageout support: drop the frames backing a mapped range (one reference

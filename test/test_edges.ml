@@ -199,7 +199,9 @@ let test_allocator_zero_pages_rejected () =
   let a = Testbed.user_domain tb "a" in
   let alloc = Testbed.allocator tb ~domains:[ a ] Fbuf.cached_volatile in
   Alcotest.(check bool) "raises" true
-    (raises_invalid (fun () -> ignore (Allocator.alloc alloc ~npages:0)))
+    (raises_invalid (fun () ->
+         let (_ : Fbuf.t) = Allocator.alloc alloc ~npages:0 in
+         ()))
 
 let test_double_teardown_rejected () =
   let tb = Testbed.create () in

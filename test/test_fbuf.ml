@@ -303,13 +303,15 @@ let test_chunk_limit_enforced () =
   let recv = Testbed.user_domain tb "recv" in
   let alloc = Testbed.allocator tb ~domains:[ app; recv ] Fbuf.cached_volatile in
   let chunk_pages = config.Region.chunk_pages in
-  ignore (Allocator.alloc alloc ~npages:chunk_pages);
-  ignore (Allocator.alloc alloc ~npages:chunk_pages);
+  let fb1 = Allocator.alloc alloc ~npages:chunk_pages in
+  let fb2 = Allocator.alloc alloc ~npages:chunk_pages in
   Alcotest.(check bool) "third chunk refused" true
     (try
-       ignore (Allocator.alloc alloc ~npages:chunk_pages);
+       let (_ : Fbuf.t) = Allocator.alloc alloc ~npages:chunk_pages in
        false
-     with Region.Chunk_limit_exceeded _ -> true)
+     with Region.Chunk_limit_exceeded _ -> true);
+  Transfer.free fb1 ~dom:app;
+  Transfer.free fb2 ~dom:app
 
 let test_region_exhaustion () =
   let config =
@@ -326,7 +328,7 @@ let test_region_exhaustion () =
   let bufs = List.init 4 (fun _ -> Allocator.alloc alloc ~npages:16) in
   Alcotest.(check bool) "fifth chunk unavailable" true
     (try
-       ignore (Allocator.alloc alloc ~npages:16);
+       let (_ : Fbuf.t) = Allocator.alloc alloc ~npages:16 in
        false
      with Region.Region_exhausted -> true);
   List.iter (fun fb -> Transfer.free fb ~dom:app) bufs

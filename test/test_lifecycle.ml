@@ -135,7 +135,14 @@ let test_terminate_wrong_allocator_rejected () =
     (try
        Lifecycle.terminate_domain tb.Testbed.region app ~allocators:[ alloc ];
        false
-     with Invalid_argument _ -> true)
+     with Invalid_argument m ->
+       (* The documented contract: the rejection names the function, so a
+          caller sweeping many allocators can attribute the failure. *)
+       String.starts_with ~prefix:"Lifecycle.terminate_domain" m);
+  (* The rejected sweep must not have half-killed anything: the allocator
+     still serves its real owner. *)
+  let fb = Allocator.alloc alloc ~npages:1 in
+  Transfer.free fb ~dom:other
 
 let test_terminate_frees_frames_of_private_buffers () =
   let tb = Testbed.create () in

@@ -1,0 +1,303 @@
+(* Fbufs_lint: one known-bad fixture per rule, each pinned to an exact
+   file:line, plus negative (clean) fixtures, the JSON round-trip the CI
+   artifact and baseline depend on, and the built-in path specs.
+
+   The fixtures use paths outside every allowlist (lib/demo/...) so all
+   rules apply; the dogfood test lints the real lib/core/lifecycle unit
+   (made visible via dune deps) and expects it clean. *)
+
+module Finding = Fbufs_lint.Finding
+module Rules = Fbufs_lint.Rules
+module Pathspec = Fbufs_lint.Pathspec
+
+let check = Alcotest.check
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let finding_t =
+  Alcotest.testable Finding.pp (fun a b -> Finding.compare a b = 0)
+
+let lint ?intf impl = Rules.lint_unit ~file:"lib/demo/fixture.ml" ~impl ?intf ()
+
+(* Exactly one finding with the expected rule and span; the message is
+   asserted by keyword so wording can evolve without breaking the test. *)
+let expect_one ~rule ~line ~keyword findings =
+  check Alcotest.int "exactly one finding" 1 (List.length findings);
+  let f = List.hd findings in
+  check Alcotest.string "rule" rule f.Finding.rule;
+  check Alcotest.int "line" line f.Finding.line;
+  Alcotest.(check bool)
+    (Printf.sprintf "message mentions %S (got %S)" keyword f.Finding.msg)
+    true
+    (contains f.Finding.msg keyword)
+
+(* ------------------------------------------------------------------ *)
+(* Layer A: bad fixtures                                               *)
+
+let test_l1_direct_payload_write () =
+  lint "let scribble pm id =\n  Bytes.set (Phys_mem.data pm id) 0 'x'\n"
+  |> expect_one ~rule:"L1" ~line:2 ~keyword:"Bytes.set"
+
+let test_l2_nondeterminism () =
+  lint "let roll () =\n  Random.int 6\n"
+  |> expect_one ~rule:"L2" ~line:2 ~keyword:"Random"
+
+let test_l3_undocumented_raise () =
+  lint
+    "let clamp n =\n  if n < 0 then invalid_arg \"clamp\" else n\n"
+    ~intf:"val clamp : int -> int\n(** Clamp to non-negative. *)\n"
+  |> expect_one ~rule:"L3" ~line:2 ~keyword:"Invalid_argument"
+
+let test_l4_asymmetric_release () =
+  lint
+    "let leaky alloc dom keep =\n\
+    \  let fb = Allocator.alloc alloc ~npages:1 in\n\
+    \  if keep then () else Transfer.free fb ~dom\n"
+  |> expect_one ~rule:"L4" ~line:2 ~keyword:"some syntactic exit paths"
+
+let test_l5_obj_magic () =
+  lint "let launder x =\n  Obj.magic x\n"
+  |> expect_one ~rule:"L5" ~line:2 ~keyword:"Obj.magic"
+
+let test_l5_ignored_handle () =
+  lint "let drop alloc =\n  ignore (Allocator.alloc alloc ~npages:1)\n"
+  |> expect_one ~rule:"L5" ~line:2 ~keyword:"fbuf handle"
+
+let test_parse_error_is_a_finding () =
+  lint "let let let\n"
+  |> expect_one ~rule:"E0" ~line:1 ~keyword:"does not parse"
+
+(* ------------------------------------------------------------------ *)
+(* Layer A: negatives                                                  *)
+
+let test_clean_fixture () =
+  let fs =
+    lint
+      "let shuttle alloc dom =\n\
+      \  let fb = Allocator.alloc alloc ~npages:1 in\n\
+      \  Transfer.free fb ~dom\n"
+      ~intf:"val shuttle : Allocator.t -> Pd.t -> unit\n"
+  in
+  check (Alcotest.list finding_t) "no findings" [] fs
+
+let test_l3_documented_raise_is_clean () =
+  let fs =
+    lint
+      "let clamp n =\n  if n < 0 then invalid_arg \"clamp\" else n\n"
+      ~intf:
+        "val clamp : int -> int\n\
+         (** Clamp; raises [Invalid_argument] when negative. *)\n"
+  in
+  check (Alcotest.list finding_t) "no findings" [] fs
+
+let test_l1_allowed_inside_sim () =
+  let fs =
+    Rules.lint_unit ~file:"lib/sim/fixture.ml"
+      ~impl:"let scribble pm id =\n  Bytes.set (Phys_mem.data pm id) 0 'x'\n"
+      ()
+  in
+  check (Alcotest.list finding_t) "lib/sim owns the frames" [] fs
+
+let test_l4_full_release_is_clean () =
+  let fs =
+    lint
+      "let balanced alloc dom keep =\n\
+      \  let fb = Allocator.alloc alloc ~npages:1 in\n\
+      \  if keep then Transfer.free fb ~dom else Transfer.free fb ~dom\n"
+  in
+  check (Alcotest.list finding_t) "release on every path" [] fs
+
+(* Dogfood: the unit whose Invalid_argument contract this PR pins down
+   must itself pass L3 — the .mli names the exception. *)
+let read_file p =
+  let ic = open_in_bin p in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let in_tree rel =
+  (* cwd is test/ under dune runtest, the repo root under dune exec. *)
+  if Sys.file_exists ("../" ^ rel) then "../" ^ rel else rel
+
+let test_l3_dogfood_lifecycle () =
+  let impl = read_file (in_tree "lib/core/lifecycle.ml") in
+  let intf = read_file (in_tree "lib/core/lifecycle.mli") in
+  Alcotest.(check bool)
+    "the contract is stated in the interface" true
+    (contains intf "Invalid_argument");
+  let fs = Rules.lint_unit ~file:"lib/core/lifecycle.ml" ~impl ~intf () in
+  check (Alcotest.list finding_t) "lifecycle is lint-clean" [] fs
+
+(* ------------------------------------------------------------------ *)
+(* Layer B: bad specs                                                  *)
+
+let spec ?(receivers = [ ("consumer", Pathspec.Ro) ]) ops =
+  {
+    Pathspec.name = "fixture";
+    originator = "producer";
+    trusted_originator = false;
+    receivers;
+    cached = true;
+    volatile = true;
+    ops;
+  }
+
+let test_b1_read_before_secure () =
+  Pathspec.verify
+    (spec
+       [
+         Write "producer";
+         Send ("producer", "consumer");
+         Read "consumer";
+         Free "consumer";
+         Free "producer";
+       ])
+  |> expect_one ~rule:"B1" ~line:3 ~keyword:"before any secure"
+
+let test_b2_dual_write_permission () =
+  Pathspec.verify
+    (spec
+       ~receivers:[ ("consumer", Pathspec.Rw) ]
+       [
+         Write "producer";
+         Send ("producer", "consumer");
+         Touch "consumer";
+         Free "consumer";
+         Free "producer";
+       ])
+  |> expect_one ~rule:"B2" ~line:0 ~keyword:"read-write"
+
+let test_b2_write_after_secure () =
+  Pathspec.verify
+    (spec
+       [
+         Write "producer";
+         Send ("producer", "consumer");
+         Secure "consumer";
+         Write "producer";
+         Read "consumer";
+         Free "consumer";
+         Free "producer";
+       ])
+  |> expect_one ~rule:"B2" ~line:4 ~keyword:"revoked"
+
+let test_b3_escaping_reference () =
+  Pathspec.verify
+    (spec
+       [
+         Write "producer";
+         Append_ref ("producer", `Out_of_region);
+         Send ("producer", "consumer");
+         Touch "consumer";
+         Free "consumer";
+         Free "producer";
+       ])
+  |> expect_one ~rule:"B3" ~line:2 ~keyword:"outside the fbuf region"
+
+let test_b0_leaked_reference () =
+  Pathspec.verify
+    (spec
+       [
+         Write "producer";
+         Send ("producer", "consumer");
+         Touch "consumer";
+         Free "producer";
+       ])
+  |> expect_one ~rule:"B0" ~line:4 ~keyword:"still holds"
+
+let test_secure_then_read_is_clean () =
+  let fs =
+    Pathspec.verify
+      (spec
+         [
+           Write "producer";
+           Send ("producer", "consumer");
+           Secure "consumer";
+           Read "consumer";
+           Free "consumer";
+           Free "producer";
+         ])
+  in
+  check (Alcotest.list finding_t) "no findings" [] fs
+
+let test_builtin_specs_verify_clean () =
+  List.iter
+    (fun (s : Pathspec.spec) ->
+      check (Alcotest.list finding_t)
+        (Printf.sprintf "spec %s" s.Pathspec.name)
+        [] (Pathspec.verify s))
+    Pathspec.builtins
+
+(* ------------------------------------------------------------------ *)
+(* JSON round-trip (artifact and baseline grammar)                     *)
+
+let test_json_round_trip () =
+  let fs =
+    [
+      Finding.v ~rule:"L1" ~file:"lib/demo/a.ml" ~line:7 ~col:2
+        "message with \"quotes\" and a\nnewline";
+      Finding.v ~rule:"B2" ~file:"spec/fixture" ~line:0 "config-level";
+    ]
+  in
+  let s = Fbufs_trace.Json.to_string (Finding.list_to_json fs) in
+  check (Alcotest.list finding_t) "decode (encode fs) = fs" fs
+    (Finding.list_of_string s)
+
+let test_baseline_matches_ignoring_line () =
+  let f = Finding.v ~rule:"L3" ~file:"lib/demo/a.ml" ~line:10 "msg" in
+  let moved = { f with Finding.line = 99; col = 4 } in
+  let other = { f with Finding.rule = "L4" } in
+  Alcotest.(check bool) "same rule+file+msg, moved line" true
+    (Finding.baseline_mem ~baseline:[ f ] moved);
+  Alcotest.(check bool) "different rule" false
+    (Finding.baseline_mem ~baseline:[ f ] other)
+
+let test_malformed_baseline_rejected () =
+  Alcotest.(check bool) "raises" true
+    (try
+       let (_ : Finding.t list) = Finding.list_of_string "{\"not\": 1}" in
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "lint"
+    [
+      ( "layer-a-bad",
+        [
+          tc "L1 direct payload write" `Quick test_l1_direct_payload_write;
+          tc "L2 nondeterminism" `Quick test_l2_nondeterminism;
+          tc "L3 undocumented raise" `Quick test_l3_undocumented_raise;
+          tc "L4 asymmetric release" `Quick test_l4_asymmetric_release;
+          tc "L5 Obj.magic" `Quick test_l5_obj_magic;
+          tc "L5 ignored handle" `Quick test_l5_ignored_handle;
+          tc "parse error is a finding" `Quick test_parse_error_is_a_finding;
+        ] );
+      ( "layer-a-clean",
+        [
+          tc "clean fixture" `Quick test_clean_fixture;
+          tc "documented raise" `Quick test_l3_documented_raise_is_clean;
+          tc "L1 allowlist" `Quick test_l1_allowed_inside_sim;
+          tc "L4 balanced" `Quick test_l4_full_release_is_clean;
+          tc "dogfood: lifecycle" `Quick test_l3_dogfood_lifecycle;
+        ] );
+      ( "layer-b",
+        [
+          tc "B1 read before secure" `Quick test_b1_read_before_secure;
+          tc "B2 rw receiver" `Quick test_b2_dual_write_permission;
+          tc "B2 write after secure" `Quick test_b2_write_after_secure;
+          tc "B3 escaping reference" `Quick test_b3_escaping_reference;
+          tc "B0 leaked reference" `Quick test_b0_leaked_reference;
+          tc "secure-then-read clean" `Quick test_secure_then_read_is_clean;
+          tc "builtins verify clean" `Quick test_builtin_specs_verify_clean;
+        ] );
+      ( "json",
+        [
+          tc "round trip" `Quick test_json_round_trip;
+          tc "baseline ignores line" `Quick test_baseline_matches_ignoring_line;
+          tc "malformed baseline" `Quick test_malformed_baseline_rejected;
+        ] );
+    ]

@@ -46,7 +46,7 @@ let test_of_fbuf_bounds_checked () =
   let fb = Allocator.alloc alloc ~npages:1 in
   Alcotest.(check bool) "raises" true
     (try
-       ignore (Msg.of_fbuf fb ~off:4000 ~len:200);
+       let (_ : Msg.t) = Msg.of_fbuf fb ~off:4000 ~len:200 in
        false
      with Invalid_argument _ -> true)
 

@@ -79,6 +79,36 @@ let test_cached_unaffected_by_large_mixed_free_list () =
     ~fresh:(fresh_path tb app)
     ~cached:(alloc_free cached app 8)
 
+(* The lint analyzer (PR 4) parses the whole tree with compiler-libs; it
+   must never be linked into the benchmark executable or the harness it
+   measures — an accidental dependency would drag parser tables and
+   startup work into the hot path's process. The link lists are data, so
+   check them as data. *)
+let read_file p =
+  let ic = open_in_bin p in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let in_tree rel =
+  (* cwd is test/ under dune runtest, the repo root under dune exec. *)
+  if Sys.file_exists ("../" ^ rel) then "../" ^ rel else rel
+
+let test_lint_not_linked_into_bench () =
+  List.iter
+    (fun dune_file ->
+      let src = read_file (in_tree dune_file) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s does not link fbufs_lint" dune_file)
+        false
+        (contains src "fbufs_lint"))
+    [ "bench/dune"; "lib/harness/dune" ]
+
 let () =
   Alcotest.run "perf_guard"
     [
@@ -88,5 +118,10 @@ let () =
             test_cached_not_slower_than_fresh;
           Alcotest.test_case "immune to free-list population" `Quick
             test_cached_unaffected_by_large_mixed_free_list;
+        ] );
+      ( "link isolation",
+        [
+          Alcotest.test_case "lint stays off the hot path" `Quick
+            test_lint_not_linked_into_bench;
         ] );
     ]

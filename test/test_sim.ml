@@ -176,7 +176,7 @@ let test_pmem_exhaustion () =
 let test_pmem_data_survives () =
   let p = pm () in
   let f = Phys_mem.alloc p in
-  Bytes.set (Phys_mem.data p f) 100 'Z';
+  Phys_mem.poke p f 100 'Z';
   check Alcotest.char "read back" 'Z' (Bytes.get (Phys_mem.data p f) 100)
 
 let test_pmem_no_implicit_zeroing () =
@@ -184,7 +184,7 @@ let test_pmem_no_implicit_zeroing () =
      security property whose cost the paper quantifies at 57 us/page. *)
   let p = pm () in
   let f = Phys_mem.alloc p in
-  Bytes.set (Phys_mem.data p f) 0 'S';
+  Phys_mem.poke p f 0 'S';
   Phys_mem.decref p f;
   let f' = Phys_mem.alloc p in
   check Alcotest.int "same frame recycled" f f';
@@ -195,7 +195,7 @@ let test_pmem_no_implicit_zeroing () =
 let test_pmem_copy_frame () =
   let p = pm () in
   let a = Phys_mem.alloc p and b = Phys_mem.alloc p in
-  Bytes.fill (Phys_mem.data p a) 0 4096 'q';
+  Phys_mem.fill p a 'q';
   Phys_mem.copy_frame p ~src:a ~dst:b;
   check Alcotest.char "copied" 'q' (Bytes.get (Phys_mem.data p b) 4095)
 
