@@ -1,4 +1,4 @@
-.PHONY: all build test check lint model-check bench bench-json clean
+.PHONY: all build test check lint model-check bench bench-json stats bench-diff clean
 
 all: build
 
@@ -31,9 +31,24 @@ bench:
 
 # Full-quota benchmark run that also writes the machine-readable
 # trajectory (one JSON object per benchmark: name, ns_per_run, r_square,
-# date). BENCH_PR4.json is the committed snapshot for this PR.
+# date). BENCH_PR5.json is the committed snapshot for this PR;
+# BENCH_PR4.json is the previous one the regression gate diffs against.
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_PR4.json
+	dune exec bench/main.exe -- --json BENCH_PR5.json
+
+# Per-component cost attribution of a Table 1 run (simulated
+# microseconds charged to alloc/map/unmap/tlb_flush/zero/secure/copy/...),
+# plus the full exposition written to metrics.json.
+stats:
+	dune exec bin/fbufs_cli.exe -- stats table1 --metrics metrics.json
+
+# The bench-trajectory regression gate: the committed snapshot of this
+# PR against the previous one, same-name benchmarks joined, nonzero exit
+# when any regresses beyond tolerance (or disappears). Both snapshots
+# were collected on the same machine with make bench-json, so the deltas
+# are meaningful; 50% tolerance absorbs scheduler noise on ~ms runs.
+bench-diff:
+	dune exec bin/fbufs_cli.exe -- bench-diff BENCH_PR4.json BENCH_PR5.json --tolerance-pct 50
 
 clean:
 	dune clean

@@ -1,8 +1,9 @@
 (* Command-line driver: regenerate any of the paper's tables and figures,
    run ablations, or dump the cost model. Every experiment accepts
-   [--trace FILE] (Chrome trace_event JSON) and [--jsonl FILE]; with
-   neither, tracing stays disabled and output is identical to an
-   untraced build. *)
+   [--trace FILE] (Chrome trace_event JSON), [--jsonl FILE] and
+   [--metrics FILE] (Prometheus text, or JSON for .json paths); with
+   none of them, instrumentation stays disabled and output is identical
+   to an uninstrumented build. *)
 
 open Cmdliner
 module H = Fbufs_harness
@@ -48,10 +49,21 @@ let jsonl_file =
   let doc = "Write the raw event stream as one JSON object per line to $(docv)." in
   Arg.(value & opt (some string) None & info [ "jsonl" ] ~doc ~docv:"FILE")
 
-(* Wrap an experiment term so tracing spans exactly its run. *)
+let metrics_file =
+  let doc =
+    "Write the metrics exposition (live counters plus the per-component \
+     cost ledger) to $(docv): JSON when the name ends in .json, Prometheus \
+     text otherwise."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~doc ~docv:"FILE")
+
+(* Wrap an experiment term so tracing and metering span exactly its run. *)
 let traced term =
-  let wrap chrome jsonl f = H.Tracing.with_trace ?chrome ?jsonl f in
-  Term.(const wrap $ trace_file $ jsonl_file $ term)
+  let wrap chrome jsonl metrics f =
+    H.Tracing.with_trace ?chrome ?jsonl (fun () ->
+        H.Metrics_run.with_metrics ?file:metrics f)
+  in
+  Term.(const wrap $ trace_file $ jsonl_file $ metrics_file $ term)
 
 let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
 
@@ -259,6 +271,94 @@ let lint_cmd =
           interpretation of the declarative data-path specs")
     Term.(const run $ format $ baseline $ out $ root)
 
+let stats_cmd =
+  let experiment =
+    let exp_conv =
+      Arg.conv
+        ( (function
+          | "table1" -> Ok `Table1
+          | "remap" -> Ok `Remap
+          | "fig3" -> Ok `Fig3
+          | "fig4" -> Ok `Fig4
+          | "fig5" -> Ok `Fig5
+          | "fig6" -> Ok `Fig6
+          | "all" -> Ok `All
+          | _ ->
+              Error
+                (`Msg "expected table1, remap, fig3, fig4, fig5, fig6 or all")),
+          fun ppf e ->
+            Format.pp_print_string ppf
+              (match e with
+              | `Table1 -> "table1"
+              | `Remap -> "remap"
+              | `Fig3 -> "fig3"
+              | `Fig4 -> "fig4"
+              | `Fig5 -> "fig5"
+              | `Fig6 -> "fig6"
+              | `All -> "all") )
+    in
+    let doc = "Experiment to meter (table1, remap, fig3..fig6, all)." in
+    Arg.(value & pos 0 exp_conv `Table1 & info [] ~doc ~docv:"EXPERIMENT")
+  in
+  let folded =
+    let doc =
+      "Write collapsed flamegraph stacks (machine;component;kind ns) to \
+       $(docv); feed to flamegraph.pl or speedscope."
+    in
+    Arg.(value & opt (some string) None & info [ "folded" ] ~doc ~docv:"FILE")
+  in
+  let run experiment zero metrics folded =
+    H.Metrics_run.with_metrics ?file:metrics ?folded ~summary:true (fun () ->
+        match experiment with
+        | `Table1 -> table1 zero
+        | `Remap -> remap ()
+        | `Fig3 -> fig3 ()
+        | `Fig4 -> fig4 ()
+        | `Fig5 -> fig5 ()
+        | `Fig6 -> fig6 ()
+        | `All -> all zero)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run an experiment with the metrics registry attached and print \
+          the per-component cost-attribution breakdown (the component \
+          column sums exactly to the run's total charged simulated time)")
+    Term.(const run $ experiment $ zero_flag $ metrics_file $ folded)
+
+let bench_diff_cmd =
+  let old_file =
+    let doc = "Baseline bench snapshot (JSON from bench --json)." in
+    Arg.(required & pos 0 (some file) None & info [] ~doc ~docv:"OLD.json")
+  in
+  let new_file =
+    let doc = "Candidate bench snapshot." in
+    Arg.(required & pos 1 (some file) None & info [] ~doc ~docv:"NEW.json")
+  in
+  let tolerance =
+    let doc = "Allowed ns/run growth per benchmark, in percent." in
+    Arg.(value & opt float 25.0 & info [ "tolerance-pct" ] ~doc ~docv:"PCT")
+  in
+  let run old_file new_file tolerance_pct =
+    let module B = Fbufs_metrics.Bench_diff in
+    match
+      B.diff ~old_:(B.load_file old_file) ~new_:(B.load_file new_file)
+        ~tolerance_pct
+    with
+    | r ->
+        print_string (B.render r);
+        if r.B.failed then exit 1
+    | exception (B.Bad_snapshot msg | Fbufs_trace.Json.Parse_error msg) ->
+        Format.eprintf "bench-diff: %s@." msg;
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare two bench JSON snapshots and fail (exit 1) when any \
+          benchmark regressed beyond the tolerance or disappeared")
+    Term.(const run $ old_file $ new_file $ tolerance)
+
 let cmds =
   [
     cmd "table1" "Table 1: per-page transfer costs" (traced (thunk1 table1));
@@ -275,6 +375,8 @@ let cmds =
       (traced (thunk0 ablations));
     cmd "info" "Print the calibrated cost model" Term.(const info_cmd $ const ());
     cmd "all" "Run every experiment" (traced (thunk1 all));
+    stats_cmd;
+    bench_diff_cmd;
     trace_cmd;
     check_cmd;
     lint_cmd;

@@ -49,6 +49,12 @@ type state = {
   ps : int;
   mutable next_eph : int;
   mutable step : int;
+  (* Expected metric counts, per allocator index, derived from the
+     model's own allocation decisions. When the replay runs metered,
+     [verify_metrics] diffs the registry against these. *)
+  exp_hit : int array;
+  exp_fresh : int array;
+  exp_reclaimed : int array;
 }
 
 let nframes = 2048
@@ -101,6 +107,9 @@ let make_state ~seed =
     ps = Testbed.page_size tb;
     next_eph = 0;
     step = 0;
+    exp_hit = Array.make (Array.length allocs) 0;
+    exp_fresh = Array.make (Array.length allocs) 0;
+    exp_reclaimed = Array.make (Array.length allocs) 0;
   }
 
 (* -- small helpers ----------------------------------------------------- *)
@@ -154,7 +163,11 @@ let run_balance st =
       "balance: daemon reports %d reclaimed but %d parked buffers lost \
        residency"
       n (List.length gone);
-  List.iter (Model.apply_reclaim st.model) gone
+  List.iter
+    (fun mf ->
+      st.exp_reclaimed.(mf.Model.alloc) <- st.exp_reclaimed.(mf.Model.alloc) + 1;
+      Model.apply_reclaim st.model mf)
+    gone
 
 let ensure_frames st need =
   if free_frames st < need + 16 then run_balance st;
@@ -287,6 +300,7 @@ let do_alloc st ~alloc ~npages =
   match Model.predict_alloc st.model ~alloc:ai ~npages:n with
   | Some top ->
       let fb = Allocator.alloc ra ~npages:n in
+      st.exp_hit.(ai) <- st.exp_hit.(ai) + 1;
       if fb.Fbuf.id <> top.Model.real_id then
         fail "alloc %d: cache reuse order: got fbuf#%d, model expected #%d" ai
           fb.Fbuf.id top.Model.real_id;
@@ -311,6 +325,7 @@ let do_alloc st ~alloc ~npages =
               Model.commit_fresh st.model ~alloc:ai ~npages:n
                 ~real_id:fb.Fbuf.id ~contents ~now:fb.Fbuf.last_alloc_us
             in
+            st.exp_fresh.(ai) <- st.exp_fresh.(ai) + 1;
             Hashtbl.replace st.reals mf.Model.key fb;
             true
         | exception (Region.Chunk_limit_exceeded _ | Region.Region_exhausted)
@@ -385,6 +400,7 @@ let do_bad_dag st ~kind =
           Model.commit_fresh st.model ~alloc:2 ~npages:1 ~real_id:fb.Fbuf.id
             ~contents ~now:fb.Fbuf.last_alloc_us
         in
+        st.exp_fresh.(2) <- st.exp_fresh.(2) + 1;
         Hashtbl.replace st.reals mf.Model.key fb;
         let base = Fbuf.vaddr fb in
         let node tag w1 w2 =
@@ -530,6 +546,8 @@ let exec st (op : Op.t) =
             Vm_map.frame_of (Fbuf.originator fb).Pd.map ~vpn:fb.Fbuf.base_vpn
             <> None
           then fail "reclaim: victim fbuf#%d kept its frames" fb.Fbuf.id;
+          st.exp_reclaimed.(mf.Model.alloc) <-
+            st.exp_reclaimed.(mf.Model.alloc) + 1;
           Model.apply_reclaim st.model mf)
         victims;
       true
@@ -667,6 +685,60 @@ let exec st (op : Op.t) =
       | exception Region.Chunk_limit_exceeded _ -> true
       | exception Region.Region_exhausted -> true)
 
+(* -- metrics differential ----------------------------------------------- *)
+
+(* When the replay runs metered (an instance installed through
+   [Machine.default_metrics]), the registry is one more observable to
+   diff: allocation fast/slow-path counters against the model's own
+   predictions, the free-list and liveness gauges against the model
+   allocators, reclaim counts, and the ledger against the machine's busy
+   time. The ledger accumulates charges per machine in arrival order with
+   plain addition — exactly how [Machine.charge] grows [busy_us] — so on
+   this single-machine world the two floats must be bitwise equal, not
+   merely close. *)
+let verify_metrics st =
+  match Machine.metrics st.m with
+  | None -> ()
+  | Some mx ->
+      let module Mx = Fbufs_metrics.Metrics in
+      let module Ledger = Fbufs_metrics.Ledger in
+      let mach = st.m.Machine.name in
+      let count name labels =
+        match Mx.value_by_name mx ~name ~labels with
+        | None -> 0
+        | Some v -> int_of_float v
+      in
+      Array.iteri
+        (fun i ra ->
+          let path = string_of_int (Allocator.path ra).Path.id in
+          let check what got want =
+            if got <> want then
+              fail "metrics: allocator %d: %s is %d, model expected %d" i what
+                got want
+          in
+          check "fbufs_alloc_total{result=hit}"
+            (count "fbufs_alloc_total" [ mach; path; "hit" ])
+            st.exp_hit.(i);
+          check "fbufs_alloc_total{result=fresh}"
+            (count "fbufs_alloc_total" [ mach; path; "fresh" ])
+            st.exp_fresh.(i);
+          check "fbufs_reclaimed_fbufs_total"
+            (count "fbufs_reclaimed_fbufs_total" [ mach; path ])
+            st.exp_reclaimed.(i);
+          let ma = Model.allocator st.model i in
+          check "fbufs_free_list_depth"
+            (count "fbufs_free_list_depth" [ mach; path ])
+            (Model.parked_len ma);
+          check "fbufs_live_fbufs"
+            (count "fbufs_live_fbufs" [ mach; path ])
+            (Model.live_count ma))
+        st.allocs;
+      let charged = Ledger.charged_us (Mx.ledger mx) ~machine:mach in
+      let busy = Machine.busy_us st.m in
+      if charged <> busy then
+        fail "metrics: ledger charged %.17g us but machine busy %.17g us"
+          charged busy
+
 (* -- the replay loop ---------------------------------------------------- *)
 
 let replay ~seed ops =
@@ -688,7 +760,8 @@ let replay ~seed ops =
          List.iter (diff_fbuf st) (Model.all st.model);
          if i mod audit_every = audit_every - 1 then run_audit st)
        ops;
-     run_audit st
+     run_audit st;
+     verify_metrics st
    with Check_failed msg ->
      failure := Some (st.step, List.nth ops st.step, msg));
   { total; executed = !executed; skipped = !skipped; failure = !failure }

@@ -1,5 +1,7 @@
 open Fbufs_sim
 open Fbufs_vm
+module Mx = Fbufs_metrics.Metrics
+module Comp = Fbufs_metrics.Component
 
 type policy = Lifo | Fifo
 
@@ -30,6 +32,52 @@ let region t = t.region
 let free_list_length t = t.free_len
 let live_fbufs t = t.live
 
+let alloc_total =
+  Mx.counter ~name:"fbufs_alloc_total"
+    ~help:"Fbuf allocations by outcome (cached hit vs fresh VM setup)"
+    ~labels:[ "machine"; "path"; "result" ] ()
+
+let free_depth =
+  Mx.gauge ~name:"fbufs_free_list_depth"
+    ~help:"Parked cached fbufs across all size classes"
+    ~labels:[ "machine"; "path" ] ()
+
+let free_class =
+  Mx.gauge ~name:"fbufs_free_class_fbufs"
+    ~help:"Parked cached fbufs in one size class"
+    ~labels:[ "machine"; "path"; "npages" ] ()
+
+let live_gauge =
+  Mx.gauge ~name:"fbufs_live_fbufs" ~help:"Fbufs currently held by domains"
+    ~labels:[ "machine"; "path" ] ()
+
+let reclaimed_total =
+  Mx.counter ~name:"fbufs_reclaimed_fbufs_total"
+    ~help:"Parked fbufs whose physical memory the pageout daemon reclaimed"
+    ~labels:[ "machine"; "path" ] ()
+
+let path_labels t m = [ m.Machine.name; string_of_int t.path.Path.id ]
+
+(* Depth and live-count gauges are re-set from the authoritative fields
+   after every state change, so they cannot drift from the allocator. *)
+let sync_gauges t =
+  let m = Region.machine t.region in
+  match Machine.metrics m with
+  | None -> ()
+  | Some mx ->
+      let labels = path_labels t m in
+      Mx.set mx free_depth ~labels (float_of_int t.free_len);
+      Mx.set mx live_gauge ~labels (float_of_int t.live)
+
+let note_class t npages delta =
+  let m = Region.machine t.region in
+  match Machine.metrics m with
+  | None -> ()
+  | Some mx ->
+      Mx.add mx free_class
+        ~labels:(path_labels t m @ [ string_of_int npages ])
+        delta
+
 let cls_for t npages =
   match Hashtbl.find t.free_classes npages with
   | c -> c
@@ -43,7 +91,8 @@ let push_parked t (fb : Fbuf.t) =
   (match t.policy with
   | Lifo -> c.front <- fb :: c.front
   | Fifo -> c.back <- fb :: c.back);
-  t.free_len <- t.free_len + 1
+  t.free_len <- t.free_len + 1;
+  note_class t fb.Fbuf.npages 1.0
 
 (* Every parked fbuf, in unspecified order; callers that care must sort. *)
 let parked_fbufs t =
@@ -52,6 +101,16 @@ let parked_fbufs t =
     t.free_classes []
 
 let clear_parked t =
+  (let m = Region.machine t.region in
+   match Machine.metrics m with
+   | None -> ()
+   | Some mx ->
+       Hashtbl.iter
+         (fun npages _ ->
+           Mx.set mx free_class
+             ~labels:(path_labels t m @ [ string_of_int npages ])
+             0.0)
+         t.free_classes);
   Hashtbl.reset t.free_classes;
   t.free_len <- 0
 
@@ -96,6 +155,10 @@ let on_all_freed t (fb : Fbuf.t) =
       t.live <- t.live - 1;
       if t.torn_down && t.live = 0 then release_chunks t
   | Fbuf.Active -> assert false
+
+let on_all_freed t fb =
+  on_all_freed t fb;
+  sync_gauges t
 
 let create region ~path ~variant ?(policy = Lifo) () =
   {
@@ -151,6 +214,7 @@ let pop_cached t ~npages =
   | c -> (
       let took fb =
         t.free_len <- t.free_len - 1;
+        note_class t npages (-1.0);
         Some fb
       in
       match c.front with
@@ -170,10 +234,12 @@ let fresh_fbuf t ~npages =
   let base_vpn = take_address_range t ~npages in
   let zero = (Region.config t.region).Region.zero_on_alloc in
   for i = 0 to npages - 1 do
-    Machine.charge ~kind:"page.alloc" m m.Machine.cost.Cost_model.page_alloc;
+    Machine.charge ~kind:"page.alloc" ~comp:Comp.Alloc m
+      m.Machine.cost.Cost_model.page_alloc;
     let f = Phys_mem.alloc m.Machine.pmem in
     if zero then begin
-      Machine.charge ~kind:"page.zero" m m.Machine.cost.Cost_model.page_zero;
+      Machine.charge ~kind:"page.zero" ~comp:Comp.Zero m
+        m.Machine.cost.Cost_model.page_zero;
       Stats.incr m.Machine.stats "fbuf.page_zeroed";
       Phys_mem.zero m.Machine.pmem f
     end;
@@ -223,6 +289,13 @@ let alloc t ~npages =
   fb.Fbuf.last_alloc_us <- Machine.now m;
   Fbuf.add_ref fb t.owner;
   t.live <- t.live + 1;
+  (match Machine.metrics m with
+  | None -> ()
+  | Some mx ->
+      Mx.incr mx alloc_total
+        ~labels:(path_labels t m @ [ (if cache_hit then "hit" else "fresh") ])
+        ());
+  sync_gauges t;
   fb
 
 let has_resident_memory (fb : Fbuf.t) =
@@ -255,6 +328,12 @@ let reclaim t ?(older_than_us = 0.0) ~max_fbufs () =
   let victims = List.filteri (fun i _ -> i < take) by_age in
   List.iter Transfer.reclaim_memory victims;
   let m = Region.machine t.region in
+  (match Machine.metrics m with
+  | None -> ()
+  | Some mx ->
+      if take > 0 then
+        Mx.add mx reclaimed_total ~labels:(path_labels t m)
+          (float_of_int take));
   if take > 0 && Machine.tracing m then
     Machine.trace_instant m ~domain:t.owner.Pd.name ~path_id:t.path.Path.id
       ~args:[ ("fbufs", Fbufs_trace.Trace.Int take) ]
@@ -276,4 +355,5 @@ let teardown t =
       Region.unregister_fbuf t.region fb)
     (parked_fbufs t);
   clear_parked t;
-  if t.live = 0 then release_chunks t
+  if t.live = 0 then release_chunks t;
+  sync_gauges t

@@ -15,7 +15,8 @@ let terminate_domain region (dom : Pd.t) ~allocators =
           "Lifecycle.terminate_domain: allocator owned by another domain")
     allocators;
   let m = Region.machine region in
-  Machine.charge m m.Machine.cost.Cost_model.vm_range_op;
+  Machine.charge ~comp:Fbufs_metrics.Component.Unmap m
+    m.Machine.cost.Cost_model.vm_range_op;
   dom.Pd.live <- false;
   (* Relinquish the references the dead domain held on others' buffers;
      freeing an active buffer's last reference parks or tears it down

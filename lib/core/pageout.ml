@@ -1,4 +1,5 @@
 open Fbufs_sim
+module Mx = Fbufs_metrics.Metrics
 
 type t = {
   region : Region.t;
@@ -17,6 +18,11 @@ let create region ?low_water_frames () =
 
 let register t alloc = t.allocators <- alloc :: t.allocators
 
+let victims_total =
+  Mx.counter ~name:"fbufs_pageout_victims_total"
+    ~help:"Fbufs evicted by pageout-daemon balance sweeps"
+    ~labels:[ "machine" ] ()
+
 let registered t = List.length t.allocators
 
 let pressure t =
@@ -28,7 +34,8 @@ let balance t =
   let reclaimed = ref 0 in
   let sp = Machine.span_begin m "pageout.balance" in
   (* One daemon scan costs a range operation's worth of work. *)
-  Machine.charge ~kind:"pageout.scan" m m.Machine.cost.Cost_model.vm_range_op;
+  Machine.charge ~kind:"pageout.scan" ~comp:Fbufs_metrics.Component.Alloc m
+    m.Machine.cost.Cost_model.vm_range_op;
   let rec sweep () =
     if pressure t then begin
       let progress = ref false in
@@ -44,6 +51,12 @@ let balance t =
   in
   sweep ();
   Stats.add m.Machine.stats "pageout.reclaimed" !reclaimed;
+  (match Machine.metrics m with
+  | None -> ()
+  | Some mx ->
+      if !reclaimed > 0 then
+        Mx.add mx victims_total ~labels:[ m.Machine.name ]
+          (float_of_int !reclaimed));
   (if Machine.tracing m then
      Machine.span_end m
        ~args:[ ("reclaimed", Fbufs_trace.Trace.Int !reclaimed) ]

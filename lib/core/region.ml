@@ -1,5 +1,6 @@
 open Fbufs_sim
 open Fbufs_vm
+module Comp = Fbufs_metrics.Component
 
 type config = {
   base_vpn : int;
@@ -75,7 +76,7 @@ let dead_page_hook t (dom : Pd.t) ~vpn ~write =
     | Some _ -> false (* mapped without read permission: real violation *)
     | None -> (
         let lazy_map_frame frame =
-          Machine.charge t.m t.m.cost.Cost_model.fault_trap;
+          Machine.charge ~comp:Comp.Map t.m t.m.cost.Cost_model.fault_trap;
           Stats.incr t.m.stats "fbuf.lazy_map";
           Phys_mem.incref t.m.pmem frame;
           Vm_map.map_frame dom.Pd.map ~vpn ~frame ~prot:Prot.Read_only
@@ -83,7 +84,7 @@ let dead_page_hook t (dom : Pd.t) ~vpn ~write =
           true
         in
         let map_dead () =
-          Machine.charge t.m t.m.cost.Cost_model.fault_trap;
+          Machine.charge ~comp:Comp.Map t.m t.m.cost.Cost_model.fault_trap;
           Stats.incr t.m.stats "region.dead_page_read";
           t.dead_reads <- t.dead_reads + 1;
           Phys_mem.incref t.m.pmem t.dead_frame;
@@ -127,7 +128,7 @@ let create m ~kernel ?(config = default_config) () =
 let register_domain t (dom : Pd.t) =
   (* Reserving the range costs one map-level range operation; individual
      pages are mapped only as fbufs are transferred in. *)
-  Machine.charge t.m t.m.cost.Cost_model.vm_range_op;
+  Machine.charge ~comp:Comp.Map t.m t.m.cost.Cost_model.vm_range_op;
   dom.Pd.fault_hook <- Some (dead_page_hook t)
 
 let owned t (dom : Pd.t) =
@@ -146,11 +147,11 @@ let alloc_chunks t (dom : Pd.t) ~nchunks =
   (* Chunk requests from user domains travel to the kernel over IPC; this
      is the slow path the two-level allocator amortizes away. *)
   if not (Pd.equal dom t.kernel) then begin
-    Machine.charge t.m t.m.cost.Cost_model.ipc_call;
-    Machine.charge t.m t.m.cost.Cost_model.ipc_reply;
+    Machine.charge ~comp:Comp.Ipc t.m t.m.cost.Cost_model.ipc_call;
+    Machine.charge ~comp:Comp.Ipc t.m t.m.cost.Cost_model.ipc_reply;
     Stats.incr t.m.stats "region.chunk_rpc"
   end;
-  Machine.charge t.m t.m.cost.Cost_model.vm_range_op;
+  Machine.charge ~comp:Comp.Alloc t.m t.m.cost.Cost_model.vm_range_op;
   (* Next-fit search for a contiguous free run: resume from the rolling
      cursor and wrap around once, skipping past the blocking chunk on
      every failed probe. In the common append-mostly regime this is O(run
@@ -199,7 +200,7 @@ let free_chunks t (dom : Pd.t) ~vpn ~nchunks =
     t.chunk_owner.(i) <- None
   done;
   t.free_count <- t.free_count + nchunks;
-  Machine.charge t.m t.m.cost.Cost_model.vm_range_op;
+  Machine.charge ~comp:Comp.Alloc t.m t.m.cost.Cost_model.vm_range_op;
   Hashtbl.replace t.owned_count dom.Pd.id (owned t dom - nchunks)
 
 let fbuf_chunk_span t (fb : Fbuf.t) =

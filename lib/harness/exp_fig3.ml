@@ -51,10 +51,12 @@ let mach_series () =
           Fbufs_baseline.Mach_native.create ~src ~dst ~kernel:tb.Testbed.kernel
         in
         let roundtrip () =
-          Machine.charge m m.Machine.cost.Cost_model.ipc_call;
+          Machine.charge ~comp:Fbufs_metrics.Component.Ipc m
+            m.Machine.cost.Cost_model.ipc_call;
           Machine.domain_crossing_tlb_pressure m;
           Fbufs_baseline.Mach_native.transfer mach ~bytes;
-          Machine.charge m m.Machine.cost.Cost_model.ipc_reply;
+          Machine.charge ~comp:Fbufs_metrics.Component.Ipc m
+            m.Machine.cost.Cost_model.ipc_reply;
           Machine.domain_crossing_tlb_pressure m
         in
         for _ = 1 to warmup do

@@ -1,6 +1,8 @@
 open Fbufs_sim
 open Fbufs_vm
 open Fbufs
+module Mx = Fbufs_metrics.Metrics
+module Comp = Fbufs_metrics.Component
 
 type mode = Rebuild | Integrated
 
@@ -46,6 +48,26 @@ let connect region ~src ~dst ?(mode = Rebuild) ?(facility = Mach)
 let facility c = c.facility
 let meta_allocator c = c.meta_alloc
 
+let calls_total =
+  Mx.counter ~name:"fbufs_ipc_calls_total"
+    ~help:"IPC crossings by facility and aggregate-transfer mode"
+    ~labels:[ "machine"; "facility"; "mode" ] ()
+
+let deallocs_total =
+  Mx.counter ~name:"fbufs_ipc_deallocs_total"
+    ~help:
+      "Deferred-deallocation dispositions: queued, piggybacked on a reply, \
+       or flushed by an explicit message"
+    ~labels:[ "machine"; "kind" ] ()
+
+let note_deallocs c kind n =
+  match Machine.metrics c.m with
+  | None -> ()
+  | Some mx ->
+      Mx.add mx deallocs_total
+        ~labels:[ c.m.Machine.name; kind ]
+        (float_of_int n)
+
 let src c = c.src
 let dst c = c.dst
 let mode c = c.mode
@@ -66,9 +88,12 @@ let explicit_flush c =
       Machine.trace_instant c.m ~domain:c.dst.Pd.name
         ~args:[ ("pending", Fbufs_trace.Trace.Int (List.length c.pending)) ]
         "ipc.dealloc_flush";
-    Machine.charge ~kind:"ipc.call" c.m c.m.cost.Cost_model.ipc_call;
-    Machine.charge ~kind:"ipc.reply" c.m c.m.cost.Cost_model.ipc_reply;
+    Machine.charge ~kind:"ipc.call" ~comp:Comp.Ipc c.m
+      c.m.cost.Cost_model.ipc_call;
+    Machine.charge ~kind:"ipc.reply" ~comp:Comp.Ipc c.m
+      c.m.cost.Cost_model.ipc_reply;
     Stats.incr c.m.Machine.stats "ipc.explicit_dealloc_msg";
+    note_deallocs c "explicit" (List.length c.pending);
     process_pending c
   end
 
@@ -79,6 +104,7 @@ let free_deferred c msg =
     (fun (fb : Fbuf.t) ->
       if Pd.equal (Fbuf.originator fb) c.src then begin
         Stats.incr c.m.Machine.stats "ipc.dealloc_deferred";
+        note_deallocs c "deferred" 1;
         c.pending <- fb :: c.pending
       end
       else Transfer.free fb ~dom:c.dst)
@@ -121,35 +147,57 @@ let call c msg ~handler =
         "ipc.call"
     else 0
   in
-  Machine.charge ~kind:"ipc.crossing" c.m call_cost;
+  Machine.charge ~kind:"ipc.crossing" ~comp:Comp.Ipc c.m call_cost;
   Stats.incr c.m.Machine.stats "ipc.call";
+  (match Machine.metrics c.m with
+  | None -> ()
+  | Some mx ->
+      Mx.incr mx calls_total
+        ~labels:
+          [
+            c.m.Machine.name;
+            facility_name c.facility;
+            (match c.mode with Rebuild -> "rebuild" | Integrated -> "integrated");
+          ]
+        ());
   (match c.mode with
   | Rebuild ->
       (* Flatten to an fbuf list, marshal one descriptor per buffer, and
          let the receiving side reconstruct the aggregate. *)
       let fbs = Fbufs_msg.Msg.fbufs msg in
-      Machine.charge ~kind:"ipc.marshal" c.m
+      Machine.charge ~kind:"ipc.marshal" ~comp:Comp.Ipc c.m
         (float_of_int (List.length fbs) *. cost.Cost_model.ipc_per_fbuf);
       List.iter (fun fb -> Transfer.send fb ~src:c.src ~dst:c.dst) fbs;
       Machine.domain_crossing_tlb_pressure ~entries:footprint c.m;
       handler msg;
       if c.auto_free_dst then Fbufs_msg.Msg.free_held msg ~dom:c.dst
   | Integrated ->
-      let meta_alloc = Option.get c.meta_alloc in
-      let ps = cost.Cost_model.page_size in
-      let npages = max 1 ((node_bytes msg + ps - 1) / ps) in
-      let meta = Allocator.alloc meta_alloc ~npages in
-      let root_vaddr = Fbufs_msg.Integrated.serialize msg ~meta ~as_:c.src in
+      (* Everything spent building, walking and reconstructing the
+         aggregate object — including the VM and allocator work for the
+         meta buffer — is DAG-support cost (Table 1's last row), so the
+         whole activity runs under a [Dag] attribution context. *)
+      let meta, root_vaddr =
+        Machine.with_comp c.m Comp.Dag (fun () ->
+            let meta_alloc = Option.get c.meta_alloc in
+            let ps = cost.Cost_model.page_size in
+            let npages = max 1 ((node_bytes msg + ps - 1) / ps) in
+            let meta = Allocator.alloc meta_alloc ~npages in
+            (meta, Fbufs_msg.Integrated.serialize msg ~meta ~as_:c.src))
+      in
       (* Only the root reference is marshalled; the kernel inspects the
          aggregate to find the buffers to transfer. *)
-      Machine.charge ~kind:"ipc.marshal" c.m cost.Cost_model.ipc_per_fbuf;
+      Machine.charge ~kind:"ipc.marshal" ~comp:Comp.Ipc c.m
+        cost.Cost_model.ipc_per_fbuf;
       let reachable =
-        Fbufs_msg.Integrated.reachable_fbufs c.region ~as_:c.src ~root_vaddr
+        Machine.with_comp c.m Comp.Dag (fun () ->
+            Fbufs_msg.Integrated.reachable_fbufs c.region ~as_:c.src
+              ~root_vaddr)
       in
       List.iter (fun fb -> Transfer.send fb ~src:c.src ~dst:c.dst) reachable;
       Machine.domain_crossing_tlb_pressure ~entries:footprint c.m;
       let received =
-        Fbufs_msg.Integrated.deserialize c.region ~as_:c.dst ~root_vaddr
+        Machine.with_comp c.m Comp.Dag (fun () ->
+            Fbufs_msg.Integrated.deserialize c.region ~as_:c.dst ~root_vaddr)
       in
       handler received;
       if c.auto_free_dst then Fbufs_msg.Msg.free_held received ~dom:c.dst;
@@ -158,11 +206,12 @@ let call c msg ~handler =
       Transfer.free meta ~dom:c.src);
   (* Reply path: control transfer back, carrying deferred deallocation
      notices for free. *)
-  Machine.charge ~kind:"ipc.crossing" c.m reply_cost;
+  Machine.charge ~kind:"ipc.crossing" ~comp:Comp.Ipc c.m reply_cost;
   Machine.domain_crossing_tlb_pressure ~entries:footprint c.m;
   if c.pending <> [] then begin
     Stats.add c.m.Machine.stats "ipc.dealloc_piggybacked"
       (List.length c.pending);
+    note_deallocs c "piggybacked" (List.length c.pending);
     if Machine.tracing c.m then
       Machine.trace_instant c.m ~domain:c.dst.Pd.name
         ~args:[ ("pending", Fbufs_trace.Trace.Int (List.length c.pending)) ]

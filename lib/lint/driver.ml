@@ -32,6 +32,7 @@ let ml_files ~root =
   List.sort String.compare !acc
 
 let run ~root =
+  Rules.reset_registered_metrics ();
   let source =
     List.concat_map (fun rel -> Rules.lint_file ~root rel) (ml_files ~root)
   in

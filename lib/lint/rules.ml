@@ -18,6 +18,11 @@ let l4_exempt =
     "lib/xkernel/"; "test/test_properties.ml";
   ]
 
+(* L6 targets production registrations; the metrics unit tests register
+   deliberately bad and dynamic names to exercise the runtime rejection
+   path. *)
+let l6_exempt = [ "test/" ]
+
 let under prefixes file =
   List.exists (fun p -> String.starts_with ~prefix:p file) prefixes
 
@@ -450,6 +455,112 @@ let l4_pass ~file str =
     [] bindings
 
 (* ------------------------------------------------------------------ *)
+(* L6: metric registrations                                            *)
+
+(* A registration is an application of [counter]/[gauge]/[histogram]
+   (under any module alias of [Fbufs_metrics.Metrics]) carrying both the
+   [~name] and [~help] labelled arguments — the registration signature.
+   Three disciplines, all static approximations of what the runtime
+   registry enforces or assumes:
+
+   - the [~name] must be a string literal (the exposition contract is
+     greppable, and the runtime duplicate check is only useful if names
+     are decided at compile time);
+   - the literal must match [^fbufs_[a-z0-9_]+$], the namespace the
+     exposition formats promise;
+   - the registration must execute at module initialization, not under a
+     lambda or loop — a registration that re-runs raises
+     [Invalid_argument] on the second call.
+
+   Duplicate literals are tracked across the whole lint run in
+   [registered_metric_names]; {!reset_registered_metrics} clears the
+   table between runs. *)
+
+let registered_metric_names : (string, string) Hashtbl.t = Hashtbl.create 32
+let reset_registered_metrics () = Hashtbl.reset registered_metric_names
+
+let metric_name_ok s =
+  let prefix = "fbufs_" in
+  String.length s > String.length prefix
+  && String.starts_with ~prefix s
+  && String.for_all
+       (fun c -> (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_')
+       s
+
+let labelled l args =
+  List.find_map
+    (fun (lbl, a) ->
+      match lbl with Asttypes.Labelled l' when l' = l -> Some a | _ -> None)
+    args
+
+let is_metric_registration f args =
+  (match rev_path f with
+  | Some (("counter" | "gauge" | "histogram") :: _) -> true
+  | _ -> false)
+  && labelled "name" args <> None
+  && labelled "help" args <> None
+
+let l6_pass ~file str =
+  let found = ref [] in
+  let add loc msg =
+    let line, col = line_col loc in
+    found := F.v ~rule:"L6" ~file ~line ~col msg :: !found
+  in
+  let depth = ref 0 in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          let nested =
+            match e.pexp_desc with
+            | Pexp_fun _ | Pexp_function _ | Pexp_for _ | Pexp_while _
+            | Pexp_lazy _ ->
+                true
+            | _ -> false
+          in
+          (match e.pexp_desc with
+          | Pexp_apply (f, args) when is_metric_registration f args -> (
+              (if !depth > 0 then
+                 add e.pexp_loc
+                   "metric registered under a function or loop; \
+                    registrations must run once, at module initialization");
+              match labelled "name" args with
+              | Some { pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }
+                -> (
+                  if not (metric_name_ok s) then
+                    add e.pexp_loc
+                      (Printf.sprintf
+                         "metric name %S does not match ^fbufs_[a-z0-9_]+$" s)
+                  else
+                    match Hashtbl.find_opt registered_metric_names s with
+                    | Some first when first <> file ->
+                        add e.pexp_loc
+                          (Printf.sprintf
+                             "metric name %S already registered in %s" s first)
+                    | Some _ ->
+                        add e.pexp_loc
+                          (Printf.sprintf
+                             "metric name %S registered twice in this unit" s)
+                    | None -> Hashtbl.replace registered_metric_names s file)
+              | Some arg ->
+                  add arg.pexp_loc
+                    "metric name must be a string literal, not a computed \
+                     value"
+              | None -> ())
+          | _ -> ());
+          if nested then begin
+            incr depth;
+            Ast_iterator.default_iterator.expr self e;
+            decr depth
+          end
+          else Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.structure it str;
+  !found
+
+(* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
 
 let lint_unit ~file ~impl ?intf () =
@@ -461,8 +572,10 @@ let lint_unit ~file ~impl ?intf () =
       let l1 = not (under l1_allowed norm) in
       let l2 = not (under l2_allowed norm) in
       let l4 = not (under l4_exempt norm) in
+      let l6 = not (under l6_exempt norm) in
       let a = expression_pass ~file ~l1 ~l2 str in
       let b = if l4 then l4_pass ~file str else [] in
+      let d = if l6 then l6_pass ~file str else [] in
       let c =
         match intf with
         | None -> []
@@ -472,7 +585,7 @@ let lint_unit ~file ~impl ?intf () =
             | Ok_impl _ -> assert false
             | Ok_intf sg -> l3_pass ~file str sg)
       in
-      List.sort_uniq F.compare (a @ b @ c)
+      List.sort_uniq F.compare (a @ b @ c @ d)
 
 let lint_file ~root rel =
   let read p =

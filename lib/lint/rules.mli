@@ -38,6 +38,15 @@
     - {b L5 — no handle laundering}: no [Obj.magic] anywhere; no [ignore]
       of a call whose result carries an fbuf handle ([Allocator.alloc],
       [Msg.of_fbuf], [Testproto.make_message]).
+    - {b L6 — metric registration discipline}: every
+      [Fbufs_metrics.Metrics] registration ([counter]/[gauge]/[histogram]
+      under any module alias, recognized by its [~name]/[~help]
+      signature) must pass a string literal matching
+      [^fbufs_[a-z0-9_]+$] as its name, must not reuse a literal already
+      registered anywhere in the tree, and must execute at module
+      initialization — not under a lambda or loop, where a re-run would
+      raise at runtime. Exempt: [test/] (the metrics tests register bad
+      names on purpose to exercise the runtime rejection).
 
     Rule scoping is by root-relative path with ['/'] separators. Fixture
     tests use paths outside every allowlist so all rules apply. *)
@@ -53,3 +62,9 @@ val lint_unit :
 val lint_file : root:string -> string -> Finding.t list
 (** [lint_file ~root rel] reads [root ^ "/" ^ rel] (and its [.mli] sibling
     if present) and lints it. *)
+
+val reset_registered_metrics : unit -> unit
+(** Clear the cross-unit table of metric names L6 has seen. {!Driver.run}
+    calls this before every tree walk; call it between unrelated
+    {!lint_unit} batches so duplicate detection does not leak across
+    runs. *)

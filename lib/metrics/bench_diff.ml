@@ -1,0 +1,114 @@
+(* Bench-trajectory regression gate: compare two bench JSON snapshots
+   (as written by `bench/main.ml --json`) and flag per-benchmark
+   ns_per_run growth beyond a tolerance. A benchmark present in OLD but
+   missing from NEW fails the gate too — silently dropping a benchmark
+   is how regressions hide. *)
+
+module Json = Fbufs_trace.Json
+
+type row = { name : string; ns_per_run : float option; r_square : float option }
+
+exception Bad_snapshot of string
+
+let num = function
+  | Json.Float f -> Some f
+  | Json.Int i -> Some (float_of_int i)
+  | _ -> None
+
+let parse_rows j =
+  match j with
+  | Json.List items ->
+      List.map
+        (fun item ->
+          let name =
+            match Json.member "name" item with
+            | Some (Json.String s) -> s
+            | _ -> raise (Bad_snapshot "benchmark entry without name")
+          in
+          let field k =
+            match Json.member k item with Some v -> num v | None -> None
+          in
+          { name; ns_per_run = field "ns_per_run"; r_square = field "r_square" })
+        items
+  | _ -> raise (Bad_snapshot "snapshot is not a JSON list")
+
+let load_string s = parse_rows (Json.parse s)
+
+let load_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> load_string (really_input_string ic (in_channel_length ic)))
+
+type status = Ok_ | Regression | Improvement | Added | Removed
+
+type entry = {
+  bench : string;
+  old_ns : float option;
+  new_ns : float option;
+  delta_pct : float option;
+  status : status;
+}
+
+type result = { entries : entry list; tolerance_pct : float; failed : bool }
+
+let diff ~old_ ~new_ ~tolerance_pct =
+  let find rows n = List.find_opt (fun r -> r.name = n) rows in
+  let names =
+    List.sort_uniq compare (List.map (fun r -> r.name) (old_ @ new_))
+  in
+  let entries =
+    List.map
+      (fun bench ->
+        let o = find old_ bench and n = find new_ bench in
+        let old_ns = Option.bind o (fun r -> r.ns_per_run) in
+        let new_ns = Option.bind n (fun r -> r.ns_per_run) in
+        match (old_ns, new_ns) with
+        | None, None ->
+            { bench; old_ns; new_ns; delta_pct = None; status = Ok_ }
+        | None, Some _ ->
+            { bench; old_ns; new_ns; delta_pct = None; status = Added }
+        | Some _, None ->
+            { bench; old_ns; new_ns; delta_pct = None; status = Removed }
+        | Some ov, Some nv ->
+            let delta = if ov > 0.0 then (nv -. ov) /. ov *. 100.0 else 0.0 in
+            let status =
+              if delta > tolerance_pct then Regression
+              else if delta < -.tolerance_pct then Improvement
+              else Ok_
+            in
+            { bench; old_ns; new_ns; delta_pct = Some delta; status })
+      names
+  in
+  let failed =
+    List.exists (fun e -> e.status = Regression || e.status = Removed) entries
+  in
+  { entries; tolerance_pct; failed }
+
+let status_str = function
+  | Ok_ -> "ok"
+  | Regression -> "REGRESSION"
+  | Improvement -> "improvement"
+  | Added -> "added"
+  | Removed -> "REMOVED"
+
+let render r =
+  let b = Buffer.create 1024 in
+  let fmt_ns = function Some v -> Printf.sprintf "%12.1f" v | None -> "           -" in
+  let fmt_pct = function
+    | Some v -> Printf.sprintf "%+8.1f%%" v
+    | None -> "        -"
+  in
+  Buffer.add_string b
+    (Printf.sprintf "%-32s %12s %12s %9s  %s\n" "benchmark" "old ns/run"
+       "new ns/run" "delta" "status");
+  List.iter
+    (fun e ->
+      Buffer.add_string b
+        (Printf.sprintf "%-32s %s %s %s  %s\n" e.bench (fmt_ns e.old_ns)
+           (fmt_ns e.new_ns) (fmt_pct e.delta_pct) (status_str e.status)))
+    r.entries;
+  Buffer.add_string b
+    (Printf.sprintf "tolerance ±%.0f%%: %s\n" r.tolerance_pct
+       (if r.failed then "FAIL" else "PASS"));
+  Buffer.contents b

@@ -1,0 +1,37 @@
+(** Bench-trajectory regression gate.
+
+    Compares two bench snapshots (the JSON emitted by
+    [bench/main.ml --json]) benchmark-by-benchmark and classifies each
+    ns/run delta against a tolerance. The gate {e fails} on any
+    [Regression] — and on any benchmark that existed in the old snapshot
+    but is missing from the new one, because silently dropping a
+    benchmark is how regressions hide. *)
+
+type row = { name : string; ns_per_run : float option; r_square : float option }
+
+exception Bad_snapshot of string
+
+val load_string : string -> row list
+(** Raises {!Bad_snapshot} on structural problems and
+    [Fbufs_trace.Json.Parse_error] on malformed JSON. *)
+
+val load_file : string -> row list
+(** Raises {!Bad_snapshot}, [Fbufs_trace.Json.Parse_error] and
+    [Sys_error] as {!load_string}/[open_in]. *)
+
+type status = Ok_ | Regression | Improvement | Added | Removed
+
+type entry = {
+  bench : string;
+  old_ns : float option;
+  new_ns : float option;
+  delta_pct : float option;  (** (new − old)/old × 100 *)
+  status : status;
+}
+
+type result = { entries : entry list; tolerance_pct : float; failed : bool }
+
+val diff : old_:row list -> new_:row list -> tolerance_pct:float -> result
+
+val render : result -> string
+(** Fixed-width table plus a PASS/FAIL trailer line. *)

@@ -1,0 +1,123 @@
+(* Cost-attribution ledger: every simulated-us charge lands in a cell
+   keyed by (machine, component, charge kind).
+
+   Two accumulators serve two different exactness claims:
+
+   - Per-cell sums use Neumaier-compensated addition, so the per-component
+     breakdown is the correctly rounded sum of its charges regardless of
+     grouping. The printed total is DEFINED as the plain left fold of the
+     per-component sums in [Component.all] order, which is exactly the
+     computation a reader (or a test) redoes — component sum equals total
+     by construction, with no epsilon.
+
+   - A plain per-machine accumulator [charged] adds every charge in
+     arrival order, the same float operations in the same order as the
+     machine's own busy-time accumulator — so [charged_us] is bitwise
+     equal to [Machine.busy_us] and proves no charge escaped
+     attribution. *)
+
+type cell = { mutable sum : float; mutable err : float; mutable n : int }
+
+type t = {
+  cells : (string * int * string, cell) Hashtbl.t;
+  charged : (string, float ref) Hashtbl.t;
+  mutable machine_order : string list; (* reverse insertion order *)
+}
+
+let create () =
+  { cells = Hashtbl.create 64; charged = Hashtbl.create 4; machine_order = [] }
+
+let clear t =
+  Hashtbl.reset t.cells;
+  Hashtbl.reset t.charged;
+  t.machine_order <- []
+
+(* Neumaier variant of Kahan summation. *)
+let cell_add c x =
+  let s = c.sum +. x in
+  c.err <-
+    (c.err
+    +. if Float.abs c.sum >= Float.abs x then c.sum -. s +. x else x -. s +. c.sum
+    );
+  c.sum <- s;
+  c.n <- c.n + 1
+
+let cell_value c = c.sum +. c.err
+
+let charge t ~machine ~comp ~kind us =
+  let key = (machine, Component.index comp, kind) in
+  (match Hashtbl.find t.cells key with
+  | c -> cell_add c us
+  | exception Not_found ->
+      let c = { sum = 0.0; err = 0.0; n = 0 } in
+      Hashtbl.add t.cells key c;
+      cell_add c us);
+  match Hashtbl.find t.charged machine with
+  | r -> r := !r +. us
+  | exception Not_found ->
+      Hashtbl.add t.charged machine (ref us);
+      t.machine_order <- machine :: t.machine_order
+
+let charged_us t ~machine =
+  match Hashtbl.find_opt t.charged machine with Some r -> !r | None -> 0.0
+
+let machines t = List.rev t.machine_order
+
+type row = {
+  machine : string;
+  comp : Component.t;
+  kind : string;
+  us : float;
+  count : int;
+}
+
+let comp_of_index i =
+  match List.nth_opt Component.all i with Some c -> c | None -> Component.Other
+
+let rows t =
+  Hashtbl.fold
+    (fun (machine, ci, kind) c acc ->
+      { machine; comp = comp_of_index ci; kind; us = cell_value c; count = c.n }
+      :: acc)
+    t.cells []
+  |> List.sort (fun a b ->
+         match compare a.machine b.machine with
+         | 0 -> (
+             match compare (Component.index a.comp) (Component.index b.comp) with
+             | 0 -> compare a.kind b.kind
+             | c -> c)
+         | c -> c)
+
+let by_component t =
+  let r = rows t in
+  List.map
+    (fun comp ->
+      ( comp,
+        List.fold_left
+          (fun acc row -> if row.comp = comp then acc +. row.us else acc)
+          0.0 r ))
+    Component.all
+
+(* The total is the same left fold over the same per-component values a
+   caller of [by_component] performs: equality is structural, not
+   numerical luck. *)
+let total_us t =
+  List.fold_left (fun acc (_, us) -> acc +. us) 0.0 (by_component t)
+
+let charge_count t =
+  Hashtbl.fold (fun _ c acc -> acc + c.n) t.cells 0
+
+(* Collapsed-stack (flamegraph) export: one "frame1;frame2;frame3 value"
+   line per cell, value in integer nanoseconds of simulated time so
+   flamegraph tooling (which expects integer sample counts) keeps three
+   decimal digits of the us figure. *)
+let collapsed t =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun r ->
+      let kind = if r.kind = "" then "untyped" else r.kind in
+      Buffer.add_string b
+        (Printf.sprintf "%s;%s;%s %.0f\n" r.machine (Component.label r.comp)
+           kind (r.us *. 1000.0)))
+    (rows t);
+  Buffer.contents b

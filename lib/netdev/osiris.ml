@@ -2,6 +2,26 @@ open Fbufs_sim
 open Fbufs_vm
 open Fbufs
 module Msg = Fbufs_msg.Msg
+module Mx = Fbufs_metrics.Metrics
+module Comp = Fbufs_metrics.Component
+
+let net_pdus =
+  Mx.counter ~name:"fbufs_net_pdus_total"
+    ~help:"PDUs handled by the Osiris adapter, by direction"
+    ~labels:[ "machine"; "dir" ] ()
+
+let net_pdu_bytes =
+  Mx.histogram ~name:"fbufs_net_pdu_bytes"
+    ~help:"PDU payload sizes, by direction" ~labels:[ "machine"; "dir" ] ()
+
+let net_cells =
+  Mx.counter ~name:"fbufs_net_cells_sent_total"
+    ~help:"Link-level cells occupied on the wire" ~labels:[ "machine" ] ()
+
+let net_dropped =
+  Mx.counter ~name:"fbufs_net_pdus_dropped_total"
+    ~help:"PDUs lost in flight (simulated CRC failures)"
+    ~labels:[ "machine" ] ()
 
 let max_cached_paths = 16
 
@@ -177,11 +197,19 @@ let dma_scatter t fb data = scatter_at t fb ~off:0 data
 let deliver t ~flight ~vci data =
   let now = Des.now t.des in
   Machine.elapse_to t.m now;
-  Machine.charge ~kind:"interrupt" t.m t.m.cost.Cost_model.interrupt;
-  Machine.charge ~kind:"driver.op" t.m t.m.cost.Cost_model.driver_op;
+  Machine.charge ~kind:"interrupt" ~comp:Comp.Net t.m
+    t.m.cost.Cost_model.interrupt;
+  Machine.charge ~kind:"driver.op" ~comp:Comp.Net t.m
+    t.m.cost.Cost_model.driver_op;
   Stats.incr t.m.stats "osiris.rx_pdu";
   t.pdus_received <- t.pdus_received + 1;
   let len = Bytes.length data in
+  (match Machine.metrics t.m with
+  | None -> ()
+  | Some mx ->
+      let labels = [ t.m.Machine.name; "rx" ] in
+      Mx.incr mx net_pdus ~labels ();
+      Mx.observe mx net_pdu_bytes ~labels (float_of_int len));
   let ps = t.m.Machine.cost.Cost_model.page_size in
   let npages = max 1 ((len + ps - 1) / ps) in
   let cached_path = Hashtbl.mem t.vci_allocs vci in
@@ -214,7 +242,7 @@ let deliver t ~flight ~vci data =
   if not t.hw_demux then begin
     t.sw_demux_copies <- t.sw_demux_copies + 1;
     Stats.incr t.m.stats "osiris.sw_demux_copy";
-    Machine.charge ~kind:"osiris.sw_demux_copy" t.m
+    Machine.charge ~kind:"osiris.sw_demux_copy" ~comp:Comp.Copy t.m
       (float_of_int len *. t.m.cost.Cost_model.copy_per_byte)
   end;
   dma_scatter t fb data;
@@ -224,7 +252,7 @@ let deliver t ~flight ~vci data =
      within one I/O data path and never pay this. *)
   let slack = (npages * ps) - len in
   if (not cached_path) && slack > 0 then begin
-    Machine.charge ~kind:"osiris.slack_zero" t.m
+    Machine.charge ~kind:"osiris.slack_zero" ~comp:Comp.Zero t.m
       (float_of_int slack /. float_of_int ps
       *. t.m.cost.Cost_model.page_zero);
     Stats.incr t.m.stats "osiris.slack_zeroed";
@@ -243,7 +271,8 @@ let send_pdu t ~vci msg =
     | Some p -> p
     | None -> invalid_arg "Osiris.send_pdu: adapter is not connected"
   in
-  Machine.charge ~kind:"driver.op" t.m t.m.cost.Cost_model.driver_op;
+  Machine.charge ~kind:"driver.op" ~comp:Comp.Net t.m
+    t.m.cost.Cost_model.driver_op;
   Stats.incr t.m.stats "osiris.tx_pdu";
   let data = dma_gather t msg in
   let cells =
@@ -251,6 +280,13 @@ let send_pdu t ~vci msg =
     / t.m.cost.Cost_model.cell_payload
   in
   t.cells_sent <- t.cells_sent + cells;
+  (match Machine.metrics t.m with
+  | None -> ()
+  | Some mx ->
+      let labels = [ t.m.Machine.name; "tx" ] in
+      Mx.incr mx net_pdus ~labels ();
+      Mx.observe mx net_pdu_bytes ~labels (float_of_int (Bytes.length data));
+      Mx.add mx net_cells ~labels:[ t.m.Machine.name ] (float_of_int cells));
   let tx_time = float_of_int cells *. Cost_model.cell_time t.m.cost in
   let start = Float.max (Machine.now t.m) t.link_free_at in
   let finish = start +. tx_time in
@@ -280,6 +316,9 @@ let send_pdu t ~vci msg =
        receiving adapter); nothing is delivered. *)
     t.pdus_dropped <- t.pdus_dropped + 1;
     Stats.incr t.m.stats "osiris.pdu_dropped";
+    (match Machine.metrics t.m with
+    | None -> ()
+    | Some mx -> Mx.incr mx net_dropped ~labels:[ t.m.Machine.name ] ());
     if Machine.tracing t.m then begin
       Machine.trace_instant t.m
         ~args:[ ("vci", Fbufs_trace.Trace.Int vci) ]

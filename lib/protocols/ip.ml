@@ -41,7 +41,8 @@ let make_header ~total ~id ~off ~len ~more =
 
 let charge_frag t =
   let m = Fbufs_xkernel.Protocol.machine t.proto in
-  Machine.charge m m.Machine.cost.Cost_model.frag_op;
+  Machine.charge ~comp:Fbufs_metrics.Component.Proto m
+    m.Machine.cost.Cost_model.frag_op;
   Stats.incr m.Machine.stats "ip.frag_op"
 
 let push t msg =

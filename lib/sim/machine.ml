@@ -15,12 +15,15 @@ type t = {
   mutable next_asid : int;
   mutable next_id : int;
   mutable trace : Trace.t option;
+  mutable metrics : Fbufs_metrics.Metrics.t option;
+  mutable comp_ctx : Fbufs_metrics.Component.t option;
 }
 
 let default_trace : Trace.t option ref = ref None
+let default_metrics : Fbufs_metrics.Metrics.t option ref = ref None
 
 let create ?(name = "host") ?(cost = Cost_model.decstation_5000_200)
-    ?(nframes = 4096) ?(tlb_entries = 64) ?(seed = 42) ?trace () =
+    ?(nframes = 4096) ?(tlb_entries = 64) ?(seed = 42) ?trace ?metrics () =
   let rng = Rng.create seed in
   {
     name;
@@ -34,21 +37,49 @@ let create ?(name = "host") ?(cost = Cost_model.decstation_5000_200)
     next_asid = 1;
     next_id = 1;
     trace = (match trace with Some _ as t -> t | None -> !default_trace);
+    metrics = (match metrics with Some _ as x -> x | None -> !default_metrics);
+    comp_ctx = None;
   }
 
 let set_trace m tr = m.trace <- tr
 let tracing m = m.trace <> None
+let set_metrics m x = m.metrics <- x
+let metered m = m.metrics <> None
+let metrics m = m.metrics
 
-let charge ?kind m us =
+let with_comp m c f =
+  let saved = m.comp_ctx in
+  m.comp_ctx <- Some c;
+  Fun.protect ~finally:(fun () -> m.comp_ctx <- saved) f
+
+let charge ?kind ?comp m us =
+  (* A surrounding [with_comp] context wins over the call site's tag:
+     e.g. the page allocation inside aggregate-object deserialization is
+     DAG-support cost, not allocator cost. *)
+  let eff = match m.comp_ctx with Some _ as c -> c | None -> comp in
   (match (m.trace, kind) with
   | Some tr, Some k ->
+      let args =
+        match eff with
+        | Some c ->
+            [ ("comp", Trace.Str (Fbufs_metrics.Component.label c)) ]
+        | None -> []
+      in
       Trace.complete tr ~ts_us:(Clock.now m.clock) ~dur_us:us ~machine:m.name
-        k
+        ~args k
   | _ -> ());
+  (match m.metrics with
+  | None -> ()
+  | Some mx ->
+      let c = match eff with Some c -> c | None -> Fbufs_metrics.Component.Other in
+      let k = match kind with Some k -> k | None -> "" in
+      Fbufs_metrics.Ledger.charge
+        (Fbufs_metrics.Metrics.ledger mx)
+        ~machine:m.name ~comp:c ~kind:k us);
   Clock.advance m.clock us;
   m.busy.busy_us <- m.busy.busy_us +. us
 
-let charge_n ?kind m n us = charge ?kind m (float_of_int n *. us)
+let charge_n ?kind ?comp m n us = charge ?kind ?comp m (float_of_int n *. us)
 
 let trace_instant m ?domain ?path_id ?args kind =
   match m.trace with

@@ -21,6 +21,8 @@ type t = {
   mutable next_asid : int;
   mutable next_id : int;
   mutable trace : Fbufs_trace.Trace.t option;
+  mutable metrics : Fbufs_metrics.Metrics.t option;
+  mutable comp_ctx : Fbufs_metrics.Component.t option;
 }
 
 val default_trace : Fbufs_trace.Trace.t option ref
@@ -29,6 +31,11 @@ val default_trace : Fbufs_trace.Trace.t option ref
     not construct itself (the experiment drivers build their own
     testbeds); [None] — the default — disables tracing everywhere. *)
 
+val default_metrics : Fbufs_metrics.Metrics.t option ref
+(** Same install pattern as {!default_trace}, for the metrics registry
+    and cost-attribution ledger. [None] (the default) means machines are
+    unmetered and the instrumented paths do no registry work at all. *)
+
 val create :
   ?name:string ->
   ?cost:Cost_model.t ->
@@ -36,10 +43,12 @@ val create :
   ?tlb_entries:int ->
   ?seed:int ->
   ?trace:Fbufs_trace.Trace.t ->
+  ?metrics:Fbufs_metrics.Metrics.t ->
   unit ->
   t
 (** Defaults: DecStation 5000/200 cost model, 4096 frames (16 MB), 64 TLB
-    entries, seed 42, trace sink [!default_trace]. *)
+    entries, seed 42, trace sink [!default_trace], metrics instance
+    [!default_metrics]. *)
 
 val set_trace : t -> Fbufs_trace.Trace.t option -> unit
 
@@ -48,14 +57,33 @@ val tracing : t -> bool
     lists must test this first so a disabled trace costs one pointer
     comparison and no allocation. *)
 
-val charge : ?kind:string -> t -> float -> unit
+val set_metrics : t -> Fbufs_metrics.Metrics.t option -> unit
+
+val metered : t -> bool
+(** Whether a metrics instance is attached; the counterpart of {!tracing}
+    for registry updates — instrumentation guards on it (or matches on
+    {!metrics}) so an unmetered machine pays one pointer comparison. *)
+
+val metrics : t -> Fbufs_metrics.Metrics.t option
+
+val with_comp : t -> Fbufs_metrics.Component.t -> (unit -> 'a) -> 'a
+(** Run [f] with every {!charge} attributed to the given component,
+    overriding the call sites' own tags — used where a whole activity
+    (e.g. aggregate-object deserialization) belongs to one Table 1 row
+    even though it exercises allocator and VM charge sites. Restores the
+    previous context on exit, exceptions included. *)
+
+val charge : ?kind:string -> ?comp:Fbufs_metrics.Component.t -> t -> float -> unit
 (** Consume [us] microseconds of CPU time: advances the clock and the busy
     accumulator. With [?kind] and a trace attached, additionally emits a
     [Complete] slice of that duration — this is how every individual cost
-    in the model becomes visible on the timeline. Tracing never alters the
-    charge itself. *)
+    in the model becomes visible on the timeline. With a metrics instance
+    attached, the charge also lands in the cost ledger under [?comp]
+    (or the surrounding {!with_comp} context; [Other] if neither).
+    Tracing and metering never alter the charge itself. *)
 
-val charge_n : ?kind:string -> t -> int -> float -> unit
+val charge_n :
+  ?kind:string -> ?comp:Fbufs_metrics.Component.t -> t -> int -> float -> unit
 (** [charge_n m n us] charges [n] repetitions of a per-item cost. *)
 
 val elapse_to : ?kind:string -> t -> float -> unit

@@ -1,4 +1,16 @@
 open Fbufs_sim
+module Mx = Fbufs_metrics.Metrics
+module Comp = Fbufs_metrics.Component
+
+let tlb_events =
+  Mx.counter ~name:"fbufs_tlb_events_total"
+    ~help:"TLB misses and write-protection (mod) faults taken on access"
+    ~labels:[ "machine"; "event" ] ()
+
+let note_tlb (m : Machine.t) event =
+  match Machine.metrics m with
+  | None -> ()
+  | Some mx -> Mx.incr mx tlb_events ~labels:[ m.Machine.name; event ] ()
 
 let page_size (dom : Pd.t) = dom.m.cost.Cost_model.page_size
 
@@ -37,8 +49,10 @@ let translate (dom : Pd.t) ~vaddr ~write =
                  missed; treat as fatal mechanism bug. *)
               failwith "Access.translate: TLB/pmap inconsistency")
       | Tlb.Miss -> (
-          Machine.charge ~kind:"tlb.refill" m m.cost.Cost_model.tlb_refill;
+          Machine.charge ~kind:"tlb.refill" ~comp:Comp.Tlb_flush m
+            m.cost.Cost_model.tlb_refill;
           Stats.incr m.stats "tlb.miss";
+          note_tlb m "miss";
           match Pmap.lookup pmap ~vpn with
           | Some e when (not write) || e.Pmap.writable ->
               Tlb.insert m.tlb ~asid ~vpn ~writable:e.Pmap.writable;
@@ -47,8 +61,10 @@ let translate (dom : Pd.t) ~vaddr ~write =
               handle_fault dom ~vpn ~write ~vaddr;
               attempt (depth + 1))
       | Tlb.Hit_readonly -> (
-          Machine.charge ~kind:"tlb.mod_fault" m m.cost.Cost_model.tlb_mod_fault;
+          Machine.charge ~kind:"tlb.mod_fault" ~comp:Comp.Tlb_flush m
+            m.cost.Cost_model.tlb_mod_fault;
           Stats.incr m.stats "tlb.mod_fault";
+          note_tlb m "mod_fault";
           match Pmap.lookup pmap ~vpn with
           | Some e when e.Pmap.writable ->
               (* Permission was upgraded since the entry was cached. *)
@@ -62,7 +78,7 @@ let translate (dom : Pd.t) ~vaddr ~write =
 
 let charge_word (dom : Pd.t) =
   let m = dom.m in
-  Machine.charge m
+  Machine.charge ~comp:Comp.Touch m
     (m.cost.Cost_model.word_touch +. m.cost.Cost_model.cache_miss)
 
 (* The word accessors assemble the 32-bit value a byte at a time rather
@@ -114,7 +130,8 @@ let read_bytes (dom : Pd.t) ~vaddr ~len =
   iter_segments dom ~vaddr ~len (fun ~vaddr ~len ->
       let frame = translate dom ~vaddr ~write:false in
       let off = vaddr mod ps in
-      Machine.charge m (float_of_int len *. m.cost.Cost_model.copy_per_byte);
+      Machine.charge ~comp:Comp.Copy m
+        (float_of_int len *. m.cost.Cost_model.copy_per_byte);
       Bytes.blit (Phys_mem.data m.pmem frame) off out !pos len;
       pos := !pos + len);
   Stats.add m.stats "mem.bytes_read" len;
@@ -128,7 +145,8 @@ let write_bytes (dom : Pd.t) ~vaddr src =
   iter_segments dom ~vaddr ~len (fun ~vaddr ~len ->
       let frame = translate dom ~vaddr ~write:true in
       let off = vaddr mod ps in
-      Machine.charge m (float_of_int len *. m.cost.Cost_model.copy_per_byte);
+      Machine.charge ~comp:Comp.Copy m
+        (float_of_int len *. m.cost.Cost_model.copy_per_byte);
       Bytes.blit src !pos (Phys_mem.data m.pmem frame) off len;
       pos := !pos + len);
   Stats.add m.stats "mem.bytes_written" len
@@ -161,7 +179,7 @@ let checksum_feed (dom : Pd.t) ~vaddr ~len state =
   iter_segments dom ~vaddr ~len (fun ~vaddr ~len ->
       let frame = translate dom ~vaddr ~write:false in
       let off = vaddr mod ps in
-      Machine.charge m
+      Machine.charge ~comp:Comp.Copy m
         (float_of_int len *. m.cost.Cost_model.checksum_per_byte);
       let b = Phys_mem.data m.pmem frame in
       let i = ref 0 in

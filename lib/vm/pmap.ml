@@ -1,8 +1,29 @@
 open Fbufs_sim
+module Mx = Fbufs_metrics.Metrics
+module Comp = Fbufs_metrics.Component
 
 type entry = { frame : Phys_mem.frame_id; writable : bool }
 
 type t = { m : Machine.t; asid : int; table : entry Ptable.t }
+
+let pmap_ops =
+  Mx.counter ~name:"fbufs_pmap_ops_total" ~help:"Pmap mutations by operation"
+    ~labels:[ "machine"; "op" ] ()
+
+let tlb_shootdowns =
+  Mx.counter ~name:"fbufs_tlb_shootdowns_total"
+    ~help:"TLB shootdowns issued on translation downgrade or removal"
+    ~labels:[ "machine" ] ()
+
+let note_op t op =
+  match Machine.metrics t.m with
+  | None -> ()
+  | Some mx -> Mx.incr mx pmap_ops ~labels:[ t.m.Machine.name; op ] ()
+
+let note_shootdown t =
+  match Machine.metrics t.m with
+  | None -> ()
+  | Some mx -> Mx.incr mx tlb_shootdowns ~labels:[ t.m.Machine.name ] ()
 
 let create m ~asid = { m; asid; table = Ptable.create () }
 
@@ -13,21 +34,26 @@ let lookup t ~vpn = Ptable.find t.table vpn
 (* Each mutation is visible on the trace timeline as the Complete slice
    its [charge ~kind] emits; no separate instant is needed. *)
 let enter t ~vpn ~frame ~writable =
-  Machine.charge ~kind:"pmap.enter" t.m t.m.cost.Cost_model.pmap_enter;
+  Machine.charge ~kind:"pmap.enter" ~comp:Comp.Map t.m
+    t.m.cost.Cost_model.pmap_enter;
   Stats.incr t.m.stats "pmap.enter";
+  note_op t "enter";
   Ptable.set t.table vpn { frame; writable }
 
 let protect t ~vpn ~writable =
   match Ptable.find t.table vpn with
   | None -> invalid_arg "Pmap.protect: no entry"
   | Some e ->
-      Machine.charge ~kind:"pmap.protect" t.m t.m.cost.Cost_model.pmap_protect;
+      Machine.charge ~kind:"pmap.protect" ~comp:Comp.Secure t.m
+        t.m.cost.Cost_model.pmap_protect;
       Stats.incr t.m.stats "pmap.protect";
+      note_op t "protect";
       if e.writable && not writable then begin
         (* Downgrade: a writable translation may be cached; shoot it down. *)
-        Machine.charge ~kind:"tlb.shootdown" t.m
+        Machine.charge ~kind:"tlb.shootdown" ~comp:Comp.Tlb_flush t.m
           t.m.cost.Cost_model.tlb_shootdown;
         Stats.incr t.m.stats "tlb.shootdown";
+        note_shootdown t;
         Tlb.invalidate t.m.tlb ~asid:t.asid ~vpn
       end;
       Ptable.set t.table vpn { e with writable }
@@ -36,11 +62,14 @@ let remove t ~vpn =
   match Ptable.find t.table vpn with
   | None -> None
   | Some e ->
-      Machine.charge ~kind:"pmap.remove" t.m t.m.cost.Cost_model.pmap_remove;
+      Machine.charge ~kind:"pmap.remove" ~comp:Comp.Unmap t.m
+        t.m.cost.Cost_model.pmap_remove;
       Stats.incr t.m.stats "pmap.remove";
-      Machine.charge ~kind:"tlb.shootdown" t.m
+      note_op t "remove";
+      Machine.charge ~kind:"tlb.shootdown" ~comp:Comp.Tlb_flush t.m
         t.m.cost.Cost_model.tlb_shootdown;
       Stats.incr t.m.stats "tlb.shootdown";
+      note_shootdown t;
       Tlb.invalidate t.m.tlb ~asid:t.asid ~vpn;
       Ptable.remove t.table vpn;
       Some e

@@ -1,4 +1,6 @@
 open Fbufs_sim
+module Mx = Fbufs_metrics.Metrics
+module Comp = Fbufs_metrics.Component
 
 type entry = {
   mutable frame : Phys_mem.frame_id option;
@@ -35,42 +37,71 @@ let name t = t.name
 let pmap t = t.pmap
 let machine t = t.m
 
-let charge_range_op t =
-  Machine.charge ~kind:"vm.range_op" t.m t.m.cost.Cost_model.vm_range_op;
-  Stats.incr t.m.stats "vm.range_op"
+let vm_ops =
+  Mx.counter ~name:"fbufs_vm_ops_total"
+    ~help:"VM map operations by granularity (range setup vs per-page)"
+    ~labels:[ "machine"; "op" ] ()
 
-let charge_page_op t =
-  Machine.charge ~kind:"vm.page_op" t.m t.m.cost.Cost_model.vm_page_op;
-  Stats.incr t.m.stats "vm.page_op"
+let batched_saved =
+  Mx.counter ~name:"fbufs_vm_batched_pages_saved_total"
+    ~help:
+      "Range-op invocations avoided by batching multi-page VM operations \
+       (pages beyond the first per batched call)"
+    ~labels:[ "machine" ] ()
+
+let note_vm_op t op =
+  match Machine.metrics t.m with
+  | None -> ()
+  | Some mx -> Mx.incr mx vm_ops ~labels:[ t.m.Machine.name; op ] ()
+
+let note_batch t npages =
+  if npages > 1 then
+    match Machine.metrics t.m with
+    | None -> ()
+    | Some mx ->
+        Mx.add mx batched_saved ~labels:[ t.m.Machine.name ]
+          (float_of_int (npages - 1))
+
+let charge_range_op ?comp t =
+  Machine.charge ~kind:"vm.range_op" ?comp t.m t.m.cost.Cost_model.vm_range_op;
+  Stats.incr t.m.stats "vm.range_op";
+  note_vm_op t "range"
+
+let charge_page_op ?comp t =
+  Machine.charge ~kind:"vm.page_op" ?comp t.m t.m.cost.Cost_model.vm_page_op;
+  Stats.incr t.m.stats "vm.page_op";
+  note_vm_op t "page"
 
 let reserve_private t ~npages =
-  charge_range_op t;
+  charge_range_op ~comp:Comp.Alloc t;
   let base = t.next_private_vpn in
   t.next_private_vpn <- base + npages;
   base
 
 let map_zero_fill t ~vpn ~npages =
-  charge_range_op t;
+  charge_range_op ~comp:Comp.Map t;
+  note_batch t npages;
   for i = 0 to npages - 1 do
-    charge_page_op t;
+    charge_page_op ~comp:Comp.Map t;
     Ptable.set t.table (vpn + i)
       { frame = None; prot = Prot.Read_write; cow = false; zero_fill = true }
   done
 
 let map_frame t ~vpn ~frame ~prot ~eager =
-  charge_page_op t;
+  charge_page_op ~comp:Comp.Map t;
   Ptable.set t.table vpn
     { frame = Some frame; prot; cow = false; zero_fill = false };
   if eager then
     Pmap.enter t.pmap ~vpn ~frame ~writable:(Prot.can_write prot)
 
 let protect t ~vpn ~npages ~prot =
-  charge_range_op t;
+  charge_range_op ~comp:Comp.Secure t;
+  note_batch t npages;
   for i = 0 to npages - 1 do
     match Ptable.find t.table (vpn + i) with
     | None -> invalid_arg "Vm_map.protect: page not mapped"
     | Some e ->
-        charge_page_op t;
+        charge_page_op ~comp:Comp.Secure t;
         e.prot <- prot;
         if Pmap.lookup t.pmap ~vpn:(vpn + i) <> None then
           if Prot.can_read prot then
@@ -82,18 +113,19 @@ let protect t ~vpn ~npages ~prot =
 let free_frame t f =
   (* The free-pool charge applies only when this reference is the last. *)
   if Phys_mem.refcount t.m.pmem f = 1 then begin
-    Machine.charge t.m t.m.cost.Cost_model.page_free;
+    Machine.charge ~comp:Comp.Alloc t.m t.m.cost.Cost_model.page_free;
     Stats.incr t.m.stats "vm.page_free"
   end;
   Phys_mem.decref t.m.pmem f
 
 let unmap t ~vpn ~npages ~free_frames =
-  charge_range_op t;
+  charge_range_op ~comp:Comp.Unmap t;
+  note_batch t npages;
   for i = 0 to npages - 1 do
     match Ptable.find t.table (vpn + i) with
     | None -> ()
     | Some e ->
-        charge_page_op t;
+        charge_page_op ~comp:Comp.Unmap t;
         ignore (Pmap.remove t.pmap ~vpn:(vpn + i));
         (match e.frame with
         | Some f when free_frames -> free_frame t f
@@ -102,15 +134,16 @@ let unmap t ~vpn ~npages ~free_frames =
   done
 
 let copy_cow ~src ~dst ~vpn ~npages =
-  charge_range_op src;
-  charge_range_op dst;
+  charge_range_op ~comp:Comp.Map src;
+  charge_range_op ~comp:Comp.Map dst;
+  note_batch src npages;
   for i = 0 to npages - 1 do
     let p = vpn + i in
     match Ptable.find src.table p with
     | None -> invalid_arg "Vm_map.copy_cow: source page not mapped"
     | Some e ->
-        charge_page_op src;
-        charge_page_op dst;
+        charge_page_op ~comp:Comp.Map src;
+        charge_page_op ~comp:Comp.Map dst;
         (match e.frame with
         | Some f ->
             Phys_mem.incref src.m.pmem f;
@@ -128,12 +161,13 @@ let copy_cow ~src ~dst ~vpn ~npages =
   done
 
 let convert_zero_fill t ~vpn ~npages =
-  charge_range_op t;
+  charge_range_op ~comp:Comp.Unmap t;
+  note_batch t npages;
   for i = 0 to npages - 1 do
     match Ptable.find t.table (vpn + i) with
     | None -> invalid_arg "Vm_map.convert_zero_fill: page not mapped"
     | Some e ->
-        charge_page_op t;
+        charge_page_op ~comp:Comp.Unmap t;
         ignore (Pmap.remove t.pmap ~vpn:(vpn + i));
         (match e.frame with Some f -> free_frame t f | None -> ());
         e.frame <- None;
@@ -170,7 +204,8 @@ let trace_fault t ~vpn ~write outcome =
       "vm.fault"
 
 let fault t ~vpn ~write =
-  Machine.charge ~kind:"vm.fault_trap" t.m t.m.cost.Cost_model.fault_trap;
+  Machine.charge ~kind:"vm.fault_trap" ~comp:Comp.Map t.m
+    t.m.cost.Cost_model.fault_trap;
   Stats.incr t.m.stats "vm.fault";
   match Ptable.find t.table vpn with
   | None ->
@@ -183,13 +218,15 @@ let fault t ~vpn ~write =
         Violation
       end
       else begin
-        charge_page_op t;
+        charge_page_op ~comp:Comp.Map t;
         (match e.frame with
         | None ->
             (* Zero-fill materialization: allocate and clear a frame. *)
             assert e.zero_fill;
-            Machine.charge ~kind:"page.alloc" t.m t.m.cost.Cost_model.page_alloc;
-            Machine.charge ~kind:"page.zero" t.m t.m.cost.Cost_model.page_zero;
+            Machine.charge ~kind:"page.alloc" ~comp:Comp.Alloc t.m
+              t.m.cost.Cost_model.page_alloc;
+            Machine.charge ~kind:"page.zero" ~comp:Comp.Zero t.m
+              t.m.cost.Cost_model.page_zero;
             Stats.incr t.m.stats "vm.zero_fill";
             trace_fault t ~vpn ~write "zero_fill";
             let f = Phys_mem.alloc t.m.pmem in
@@ -207,8 +244,9 @@ let fault t ~vpn ~write =
             end
             else begin
               (* Physical copy: the cost COW was supposed to avoid. *)
-              Machine.charge ~kind:"page.alloc" t.m t.m.cost.Cost_model.page_alloc;
-              Machine.charge ~kind:"vm.cow_copy" t.m
+              Machine.charge ~kind:"page.alloc" ~comp:Comp.Alloc t.m
+                t.m.cost.Cost_model.page_alloc;
+              Machine.charge ~kind:"vm.cow_copy" ~comp:Comp.Copy t.m
                 (float_of_int t.m.cost.Cost_model.page_size
                 *. t.m.cost.Cost_model.copy_per_byte);
               Stats.incr t.m.stats "vm.cow_copy";

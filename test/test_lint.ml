@@ -70,6 +70,39 @@ let test_parse_error_is_a_finding () =
   lint "let let let\n"
   |> expect_one ~rule:"E0" ~line:1 ~keyword:"does not parse"
 
+(* L6: each test resets the cross-unit name table so order is irrelevant. *)
+let lint_l6 ?(file = "lib/demo/fixture.ml") impl =
+  Rules.reset_registered_metrics ();
+  Rules.lint_unit ~file ~impl ()
+
+let test_l6_bad_name () =
+  lint_l6 "let c =\n  Mx.counter ~name:\"requests_total\" ~help:\"h\" ()\n"
+  |> expect_one ~rule:"L6" ~line:2 ~keyword:"fbufs_"
+
+let test_l6_dynamic_name () =
+  lint_l6
+    "let c =\n  Mx.counter ~name:(prefix ^ \"_total\") ~help:\"h\" ()\n"
+  |> expect_one ~rule:"L6" ~line:2 ~keyword:"string literal"
+
+let test_l6_registration_under_lambda () =
+  lint_l6
+    "let make () =\n  Mx.gauge ~name:\"fbufs_demo_depth\" ~help:\"h\" ()\n"
+  |> expect_one ~rule:"L6" ~line:2 ~keyword:"module initialization"
+
+let test_l6_duplicate_within_unit () =
+  lint_l6
+    "let a = Mx.counter ~name:\"fbufs_demo_total\" ~help:\"h\" ()\n\
+     let b = Mx.counter ~name:\"fbufs_demo_total\" ~help:\"h\" ()\n"
+  |> expect_one ~rule:"L6" ~line:2 ~keyword:"twice"
+
+let test_l6_duplicate_across_units () =
+  Rules.reset_registered_metrics ();
+  let impl = "let a = Mx.counter ~name:\"fbufs_demo_total\" ~help:\"h\" ()\n" in
+  let first = Rules.lint_unit ~file:"lib/demo/one.ml" ~impl () in
+  check Alcotest.int "first unit clean" 0 (List.length first);
+  Rules.lint_unit ~file:"lib/demo/two.ml" ~impl ()
+  |> expect_one ~rule:"L6" ~line:1 ~keyword:"lib/demo/one.ml"
+
 (* ------------------------------------------------------------------ *)
 (* Layer A: negatives                                                  *)
 
@@ -109,6 +142,22 @@ let test_l4_full_release_is_clean () =
       \  if keep then Transfer.free fb ~dom else Transfer.free fb ~dom\n"
   in
   check (Alcotest.list finding_t) "release on every path" [] fs
+
+let test_l6_top_level_literal_is_clean () =
+  let fs =
+    lint_l6
+      "let c =\n\
+      \  Mx.counter ~name:\"fbufs_demo_total\" ~help:\"h\"\n\
+      \    ~labels:[ \"machine\" ] ()\n"
+  in
+  check (Alcotest.list finding_t) "well-formed registration" [] fs
+
+let test_l6_exempt_under_test () =
+  let fs =
+    lint_l6 ~file:"test/fixture.ml"
+      "let c () = Mx.counter ~name:(dyn ()) ~help:\"h\" ()\n"
+  in
+  check (Alcotest.list finding_t) "test/ is exempt" [] fs
 
 (* Dogfood: the unit whose Invalid_argument contract this PR pins down
    must itself pass L3 — the .mli names the exception. *)
@@ -275,6 +324,11 @@ let () =
           tc "L5 Obj.magic" `Quick test_l5_obj_magic;
           tc "L5 ignored handle" `Quick test_l5_ignored_handle;
           tc "parse error is a finding" `Quick test_parse_error_is_a_finding;
+          tc "L6 bad name" `Quick test_l6_bad_name;
+          tc "L6 dynamic name" `Quick test_l6_dynamic_name;
+          tc "L6 under lambda" `Quick test_l6_registration_under_lambda;
+          tc "L6 duplicate in unit" `Quick test_l6_duplicate_within_unit;
+          tc "L6 duplicate across units" `Quick test_l6_duplicate_across_units;
         ] );
       ( "layer-a-clean",
         [
@@ -282,6 +336,8 @@ let () =
           tc "documented raise" `Quick test_l3_documented_raise_is_clean;
           tc "L1 allowlist" `Quick test_l1_allowed_inside_sim;
           tc "L4 balanced" `Quick test_l4_full_release_is_clean;
+          tc "L6 well-formed" `Quick test_l6_top_level_literal_is_clean;
+          tc "L6 test exemption" `Quick test_l6_exempt_under_test;
           tc "dogfood: lifecycle" `Quick test_l3_dogfood_lifecycle;
         ] );
       ( "layer-b",

@@ -79,6 +79,43 @@ let test_cached_unaffected_by_large_mixed_free_list () =
     ~fresh:(fresh_path tb app)
     ~cached:(alloc_free cached app 8)
 
+(* Metrics are pay-for-play: every instrumentation site guards on the
+   machine carrying a registry instance, so a run without one ("disabled")
+   does no registry work at all. Structural claim, measured structurally:
+   the same alloc/free cycle on an unmetered machine must not be slower
+   than on a metered one (which does strictly more — hashtable cells,
+   ledger adds) beyond scheduling noise. *)
+let test_metrics_disabled_not_slower_than_enabled () =
+  let unmetered = Testbed.create () in
+  let app_u = Testbed.user_domain unmetered "app" in
+  let alloc_u =
+    Testbed.allocator unmetered ~domains:[ app_u ] Fbuf.cached_volatile
+  in
+  let mx = Fbufs_metrics.Metrics.create () in
+  let saved = !Fbufs_sim.Machine.default_metrics in
+  Fbufs_sim.Machine.default_metrics := Some mx;
+  let metered =
+    Fun.protect
+      ~finally:(fun () -> Fbufs_sim.Machine.default_metrics := saved)
+      (fun () -> Testbed.create ())
+  in
+  let app_m = Testbed.user_domain metered "app" in
+  let alloc_m =
+    Testbed.allocator metered ~domains:[ app_m ] Fbuf.cached_volatile
+  in
+  let enabled_ns, disabled_ns =
+    interleaved_medians
+      ~fresh:(alloc_free alloc_m app_m 8)
+      ~cached:(alloc_free alloc_u app_u 8)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "median disabled cycle (%.0f ns) <= 1.05 * median metered cycle \
+        (%.0f ns)"
+       disabled_ns enabled_ns)
+    true
+    (disabled_ns <= enabled_ns *. 1.05)
+
 (* The lint analyzer (PR 4) parses the whole tree with compiler-libs; it
    must never be linked into the benchmark executable or the harness it
    measures — an accidental dependency would drag parser tables and
@@ -118,6 +155,11 @@ let () =
             test_cached_not_slower_than_fresh;
           Alcotest.test_case "immune to free-list population" `Quick
             test_cached_unaffected_by_large_mixed_free_list;
+        ] );
+      ( "metrics overhead",
+        [
+          Alcotest.test_case "disabled pays nothing" `Quick
+            test_metrics_disabled_not_slower_than_enabled;
         ] );
       ( "link isolation",
         [
