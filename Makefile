@@ -1,4 +1,4 @@
-.PHONY: all build test check lint model-check bench bench-json stats bench-diff clean
+.PHONY: all build test check lint model-check bench bench-json stats spans bench-diff clean
 
 all: build
 
@@ -13,7 +13,7 @@ test:
 check:
 	dune build @all && dune runtest
 
-# Static fbuf-discipline analyzer: rules L1-L5 over the sources plus the
+# Static fbuf-discipline analyzer: rules L1-L7 over the sources plus the
 # Layer-B abstract interpreter over the built-in data-path specs. The
 # shipped tree is clean, so the committed baseline is empty; a non-empty
 # baseline only papers over known findings while a fix is in flight.
@@ -31,10 +31,10 @@ bench:
 
 # Full-quota benchmark run that also writes the machine-readable
 # trajectory (one JSON object per benchmark: name, ns_per_run, r_square,
-# date). BENCH_PR5.json is the committed snapshot for this PR;
-# BENCH_PR4.json is the previous one the regression gate diffs against.
+# date). BENCH_PR6.json is the committed snapshot for this PR;
+# BENCH_PR5.json is the previous one the regression gate diffs against.
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_PR5.json
+	dune exec bench/main.exe -- --json BENCH_PR6.json
 
 # Per-component cost attribution of a Table 1 run (simulated
 # microseconds charged to alloc/map/unmap/tlb_flush/zero/secure/copy/...),
@@ -42,13 +42,20 @@ bench-json:
 stats:
 	dune exec bin/fbufs_cli.exe -- stats table1 --metrics metrics.json
 
+# Causal span recording over one fig5-style windowed run: per-transfer
+# critical paths print to stdout (component costs sum exactly to the
+# ledger charge), the span trees land in spans.jsonl, and a Chrome
+# trace_event rendering with follows-from flow arrows in spans-chrome.json.
+spans:
+	dune exec bin/fbufs_cli.exe -- spans --out spans.jsonl --chrome spans-chrome.json
+
 # The bench-trajectory regression gate: the committed snapshot of this
 # PR against the previous one, same-name benchmarks joined, nonzero exit
 # when any regresses beyond tolerance (or disappears). Both snapshots
 # were collected on the same machine with make bench-json, so the deltas
 # are meaningful; 50% tolerance absorbs scheduler noise on ~ms runs.
 bench-diff:
-	dune exec bin/fbufs_cli.exe -- bench-diff BENCH_PR4.json BENCH_PR5.json --tolerance-pct 50
+	dune exec bin/fbufs_cli.exe -- bench-diff BENCH_PR5.json BENCH_PR6.json --tolerance-pct 50
 
 clean:
 	dune clean

@@ -1,9 +1,10 @@
 (* Command-line driver: regenerate any of the paper's tables and figures,
    run ablations, or dump the cost model. Every experiment accepts
-   [--trace FILE] (Chrome trace_event JSON), [--jsonl FILE] and
-   [--metrics FILE] (Prometheus text, or JSON for .json paths); with
-   none of them, instrumentation stays disabled and output is identical
-   to an uninstrumented build. *)
+   [--trace FILE] (Chrome trace_event JSON), [--jsonl FILE],
+   [--metrics FILE] (Prometheus text, or JSON for .json paths) and
+   [--spans FILE] (causal span trees as JSONL); with none of them,
+   instrumentation stays disabled and output is identical to an
+   uninstrumented build. *)
 
 open Cmdliner
 module H = Fbufs_harness
@@ -53,17 +54,32 @@ let metrics_file =
   let doc =
     "Write the metrics exposition (live counters plus the per-component \
      cost ledger) to $(docv): JSON when the name ends in .json, Prometheus \
-     text otherwise."
+     text otherwise. Combines freely with $(b,--trace), $(b,--jsonl) and \
+     $(b,--spans): one execution produces every requested output."
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~doc ~docv:"FILE")
 
-(* Wrap an experiment term so tracing and metering span exactly its run. *)
-let traced term =
-  let wrap chrome jsonl metrics f =
-    H.Tracing.with_trace ?chrome ?jsonl (fun () ->
-        H.Metrics_run.with_metrics ?file:metrics f)
+let spans_file =
+  let doc =
+    "Write causal span trees (one JSON object per line; transfers, \
+     parent/child and follows-from edges, per-span Table 1 component \
+     charges) to $(docv). With $(b,--metrics) also given, per-transfer \
+     wall times land in the fbufs_transfer_wall_us quantile sketch of \
+     that exposition — the run is executed once either way."
   in
-  Term.(const wrap $ trace_file $ jsonl_file $ metrics_file $ term)
+  Arg.(value & opt (some string) None & info [ "spans" ] ~doc ~docv:"FILE")
+
+(* Wrap an experiment term so tracing, metering and span recording cover
+   exactly its run. Spans sit innermost so their post-run export can
+   observe transfer walls into the still-installed metrics instance. *)
+let traced term =
+  let wrap chrome jsonl metrics spans f =
+    H.Tracing.with_trace ?chrome ?jsonl (fun () ->
+        H.Metrics_run.with_metrics ?file:metrics (fun () ->
+            H.Spans_run.with_spans ?jsonl:spans f))
+  in
+  Term.(
+    const wrap $ trace_file $ jsonl_file $ metrics_file $ spans_file $ term)
 
 let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
 
@@ -113,22 +129,89 @@ let trace_cmd =
     Arg.(value & opt (some int) None & info [ "nmsgs" ] ~doc ~docv:"N")
   in
   let out =
-    let doc = "Chrome trace output file." in
+    let doc =
+      "Chrome trace output file (mechanism-level events; independent of \
+       the causal span outputs, any combination may be requested)."
+    in
     Arg.(
       value & opt string "fbufs_trace.json" & info [ "trace" ] ~doc ~docv:"FILE")
   in
-  let run config bytes uncached window pdu_size nmsgs out jsonl =
+  let run config bytes uncached window pdu_size nmsgs out jsonl metrics spans =
     H.Tracing.run_workload ~config ~bytes ~uncached ?window ?pdu_size ?nmsgs
-      ~chrome:out ?jsonl ()
+      ~chrome:out ?jsonl ?metrics ?spans ()
   in
   Cmd.v
     (Cmd.info "trace"
        ~doc:
          "Run one fully traced end-to-end transfer and dump the event \
-          timeline plus a per-path latency histogram summary")
+          timeline plus a per-path latency histogram summary; combine \
+          with --metrics and --spans to meter the same single run")
     Term.(
       const run $ config $ bytes $ uncached $ window $ pdu_size $ nmsgs $ out
-      $ jsonl_file)
+      $ jsonl_file $ metrics_file $ spans_file)
+
+let spans_cmd =
+  let config =
+    let doc = "Topology: kernel-kernel, user-user or user-netserver-user." in
+    Arg.(
+      value
+      & opt config_conv H.Exp_fig5.User_user
+      & info [ "config" ] ~doc ~docv:"CONFIG")
+  in
+  (* Defaults kept small and fixed so the report is deterministic and
+     readable: 4 messages of 16 KB with a window of 4 exercises
+     pipelining (follows-from edges between transfers) without drowning
+     the per-transfer breakdown. *)
+  let bytes =
+    let doc = "Message size in bytes." in
+    Arg.(value & opt int 16384 & info [ "bytes" ] ~doc ~docv:"N")
+  in
+  let uncached =
+    let doc = "Use uncached, non-volatile fbufs (the Figure 6 regime)." in
+    Arg.(value & flag & info [ "uncached" ] ~doc)
+  in
+  let window =
+    let doc = "Sliding-window size (messages in flight)." in
+    Arg.(value & opt int 4 & info [ "window" ] ~doc ~docv:"N")
+  in
+  let pdu_size =
+    let doc = "IP PDU size in bytes." in
+    Arg.(value & opt (some int) None & info [ "pdu-size" ] ~doc ~docv:"N")
+  in
+  let nmsgs =
+    let doc = "Number of messages." in
+    Arg.(value & opt int 4 & info [ "nmsgs" ] ~doc ~docv:"N")
+  in
+  let out =
+    let doc = "Also write the span trees as JSONL to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~doc ~docv:"FILE")
+  in
+  let chrome =
+    let doc =
+      "Also write the span trees as a Chrome trace_event file (complete \
+       events plus flow arrows for follows-from edges) to $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "chrome" ] ~doc ~docv:"FILE")
+  in
+  let top =
+    let doc = "Limit the per-transfer breakdown to the first $(docv) transfers." in
+    Arg.(value & opt (some int) None & info [ "top" ] ~doc ~docv:"N")
+  in
+  let run config bytes uncached window pdu_size nmsgs out chrome metrics top =
+    H.Tracing.run_workload ~config ~bytes ~uncached ~window ?pdu_size ~nmsgs
+      ?spans:out ?spans_chrome:chrome ?metrics ~spans_summary:true ?top ()
+  in
+  Cmd.v
+    (Cmd.info "spans"
+       ~doc:
+         "Run one end-to-end transfer with causal span recording and print \
+          the critical-path report: per transfer, which Table 1 components \
+          bound end-to-end latency (their costs sum exactly to the ledger \
+          charge) and the slack of off-path work; --metrics additionally \
+          feeds per-transfer walls into a mergeable quantile sketch")
+    Term.(
+      const run $ config $ bytes $ uncached $ window $ pdu_size $ nmsgs $ out
+      $ chrome $ metrics_file $ top)
 
 let check_cmd =
   let seeds =
@@ -378,6 +461,7 @@ let cmds =
     stats_cmd;
     bench_diff_cmd;
     trace_cmd;
+    spans_cmd;
     check_cmd;
     lint_cmd;
   ]

@@ -62,6 +62,10 @@ let audit_every = 25
 
 let make_state ~seed =
   let tb = Testbed.create ~name:"fbufs-check" ~nframes ~seed () in
+  (* Replays always record causal spans: the span sink is one more
+     observable to diff (see [verify_spans]), and recording is passive —
+     it never feeds back into the simulation. *)
+  Machine.set_spans tb.Testbed.m (Some (Fbufs_span.Span.create ()));
   let a = Testbed.user_domain tb "dom_a" in
   let b = Testbed.user_domain tb "dom_b" in
   let c = Testbed.user_domain tb "dom_c" in
@@ -739,6 +743,56 @@ let verify_metrics st =
         fail "metrics: ledger charged %.17g us but machine busy %.17g us"
           charged busy
 
+(* -- span differential -------------------------------------------------- *)
+
+let op_label (op : Op.t) =
+  match op with
+  | Op.Alloc _ -> "alloc"
+  | Op.Write _ -> "write"
+  | Op.Read _ -> "read"
+  | Op.Send _ -> "send"
+  | Op.Secure _ -> "secure"
+  | Op.Free _ -> "free"
+  | Op.Reclaim _ -> "reclaim"
+  | Op.Balance -> "balance"
+  | Op.Ipc _ -> "ipc"
+  | Op.Read_unref _ -> "read_unref"
+  | Op.Write_foreign _ -> "write_foreign"
+  | Op.Use_after_free _ -> "use_after_free"
+  | Op.Crash _ -> "crash"
+  | Op.Bad_dag _ -> "bad_dag"
+  | Op.Exhaust _ -> "exhaust"
+
+(* Every replay records spans (one transfer per executed op), so the span
+   sink's own invariants run under the checker's adversarial streams:
+   every span finished, one causal root per transfer, child intervals
+   inside their parents, and per-component span charges summing exactly
+   to each transfer's ledger cells. On top of the sink's internal check,
+   diff its arrival total against the machine's busy time: each charge
+   was rounded to integer nanoseconds once, so the two can differ by at
+   most half a nanosecond per charge (plus one for the final float
+   comparison). *)
+let verify_spans st =
+  match Machine.spans st.m with
+  | None -> ()
+  | Some sink ->
+      let module Span = Fbufs_span.Span in
+      (match Span.check sink with
+      | [] -> ()
+      | v :: _ as all ->
+          fail "spans: %d violation(s); first: %s" (List.length all) v);
+      let mach = st.m.Machine.name in
+      let charged = float_of_int (Span.charged_ns sink ~machine:mach) in
+      let busy_ns = Machine.busy_us st.m *. 1000.0 in
+      let bound =
+        (float_of_int (Span.charge_count sink ~machine:mach) /. 2.0) +. 1.0
+      in
+      if Float.abs (charged -. busy_ns) > bound then
+        fail
+          "spans: %.1f ns charged to the sink but machine busy %.1f ns \
+           (rounding bound %.1f)"
+          charged busy_ns bound
+
 (* -- the replay loop ---------------------------------------------------- *)
 
 let replay ~seed ops =
@@ -751,7 +805,8 @@ let replay ~seed ops =
        (fun i op ->
          st.step <- i;
          let ran =
-           try exec st op with
+           try Machine.with_transfer st.m (op_label op) (fun () -> exec st op)
+           with
            | Check_failed _ as e -> raise e
            | e -> fail "unexpected exception: %s" (Printexc.to_string e)
          in
@@ -761,7 +816,8 @@ let replay ~seed ops =
          if i mod audit_every = audit_every - 1 then run_audit st)
        ops;
      run_audit st;
-     verify_metrics st
+     verify_metrics st;
+     verify_spans st
    with Check_failed msg ->
      failure := Some (st.step, List.nth ops st.step, msg));
   { total; executed = !executed; skipped = !skipped; failure = !failure }

@@ -287,6 +287,7 @@ let alloc t ~npages =
   end;
   fb.Fbuf.on_all_freed <- Some (on_all_freed t);
   fb.Fbuf.last_alloc_us <- Machine.now m;
+  fb.Fbuf.xfer <- Machine.current_transfer m;
   Fbuf.add_ref fb t.owner;
   t.live <- t.live + 1;
   (match Machine.metrics m with

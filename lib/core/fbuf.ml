@@ -29,6 +29,7 @@ type t = {
   mutable mapped_in : Pd.t list;
   mutable on_all_freed : (t -> unit) option;
   mutable last_alloc_us : float;
+  mutable xfer : int;  (* causal transfer carrying this fbuf; 0 = none *)
 }
 
 let make ~m ~id ~base_vpn ~npages ~variant ~path =
@@ -45,6 +46,7 @@ let make ~m ~id ~base_vpn ~npages ~variant ~path =
     mapped_in = [];
     on_all_freed = None;
     last_alloc_us = 0.0;
+    xfer = 0;
   }
 
 let originator t = Path.originator t.path

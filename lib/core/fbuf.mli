@@ -46,6 +46,9 @@ type t = {
       (** simulated time of the most recent allocation; the pageout
           daemon's LRU approximation reclaims the least recently used
           parked buffers first *)
+  mutable xfer : int;
+      (** causal transfer ({!Fbufs_sim.Machine.current_transfer} at
+          allocation) carried with the fbuf across domains; 0 = none *)
 }
 
 val make :

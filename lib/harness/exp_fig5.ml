@@ -184,11 +184,18 @@ let run_one ~uncached ~config ~bytes ?(pdu_size = 16384) ?(window = 8)
     while !sent < nmsgs && !outstanding < window do
       incr sent;
       incr outstanding;
-      let msg = Testproto.make_message ~alloc:data_alloc ~as_:sender_dom ~bytes () in
-      entry.Protocol.push msg;
-      (* When no proxy sits between the test protocol and UDP, the sender
-         still owns its references after the push. *)
-      Msg.free_held msg ~dom:sender_dom
+      (* One causal transfer per message: the root span covers the send
+         path; the PDU flights, the receive side and the ack adopt into
+         it as they happen. *)
+      Machine.with_transfer m1 ~domain:sender_dom.Pd.name
+        (config_name config) (fun () ->
+          let msg =
+            Testproto.make_message ~alloc:data_alloc ~as_:sender_dom ~bytes ()
+          in
+          entry.Protocol.push msg;
+          (* When no proxy sits between the test protocol and UDP, the
+             sender still owns its references after the push. *)
+          Msg.free_held msg ~dom:sender_dom)
     done
   in
   Osiris.set_rx_handler ad2 (fun ~vci msg ->

@@ -37,15 +37,25 @@ let with_trace ?chrome ?jsonl ?(summary = true) ?(capacity = default_capacity)
       result
 
 let run_workload ?(config = Exp_fig5.User_user) ?(bytes = 65536)
-    ?(uncached = false) ?pdu_size ?window ?nmsgs ?chrome ?jsonl () =
+    ?(uncached = false) ?pdu_size ?window ?nmsgs ?chrome ?jsonl ?metrics
+    ?spans ?spans_chrome ?(spans_summary = false) ?top () =
   Report.print_title
     (Printf.sprintf
        "Traced end-to-end transfer: %s, %s fbufs, %d-byte messages"
        (Exp_fig5.config_name config)
        (if uncached then "uncached" else "cached/volatile")
        bytes);
+  (* Nesting order matters: spans innermost, so its post-run export still
+     sees the metrics instance and can observe transfer walls into the
+     [fbufs_transfer_wall_us] sketch. *)
   with_trace ?chrome ?jsonl (fun () ->
-      let p = Exp_fig5.run_one ~uncached ~config ~bytes ?pdu_size ?window ?nmsgs () in
-      Printf.printf
-        "throughput %.1f Mb/s, tx CPU load %.2f, rx CPU load %.2f\n"
-        p.Exp_fig5.mbps p.Exp_fig5.tx_cpu_load p.Exp_fig5.rx_cpu_load)
+      Metrics_run.with_metrics ?file:metrics (fun () ->
+          Spans_run.with_spans ?jsonl:spans ?chrome:spans_chrome
+            ~summary:spans_summary ?top (fun () ->
+              let p =
+                Exp_fig5.run_one ~uncached ~config ~bytes ?pdu_size ?window
+                  ?nmsgs ()
+              in
+              Printf.printf
+                "throughput %.1f Mb/s, tx CPU load %.2f, rx CPU load %.2f\n"
+                p.Exp_fig5.mbps p.Exp_fig5.tx_cpu_load p.Exp_fig5.rx_cpu_load)))

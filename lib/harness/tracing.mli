@@ -31,10 +31,18 @@ val run_workload :
   ?nmsgs:int ->
   ?chrome:string ->
   ?jsonl:string ->
+  ?metrics:string ->
+  ?spans:string ->
+  ?spans_chrome:string ->
+  ?spans_summary:bool ->
+  ?top:int ->
   unit ->
   unit
-(** The [trace] subcommand: one fully instrumented end-to-end UDP/IP
-    transfer run (the Figure 5/6 testbed at a single message size,
-    default 64 KB user-user cached) with tracing on, dumping the Chrome
-    trace / JSONL and printing throughput, CPU loads and the per-path
-    latency table. *)
+(** The [trace] and [spans] subcommands: one fully instrumented
+    end-to-end UDP/IP transfer run (the Figure 5/6 testbed at a single
+    message size, default 64 KB user-user cached), dumping any
+    combination of Chrome trace / JSONL ([chrome], [jsonl]), metrics
+    exposition ([metrics], via {!Metrics_run.with_metrics}), and causal
+    span trees ([spans] JSONL / [spans_chrome], via
+    {!Spans_run.with_spans}; [spans_summary] prints the critical-path
+    report, [top] limits it) — one execution, every requested output. *)

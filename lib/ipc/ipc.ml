@@ -147,6 +147,22 @@ let call c msg ~handler =
         "ipc.call"
     else 0
   in
+  (* Causal span for the crossing. The caller's transfer context usually
+     reaches here down the stack; a call made outside any context (a
+     proxy invoked from a detached continuation) adopts the transfer
+     carried by the message's first fbuf. *)
+  let csp =
+    if not (Machine.spanning c.m) then 0
+    else if Machine.current_transfer c.m <> 0 then
+      Machine.span_enter c.m ~domain:c.src.Pd.name "ipc.call"
+    else
+      let tid =
+        match Fbufs_msg.Msg.fbufs msg with
+        | fb :: _ -> fb.Fbuf.xfer
+        | [] -> 0
+      in
+      Machine.span_adopt c.m ~transfer:tid ~domain:c.src.Pd.name "ipc.call"
+  in
   Machine.charge ~kind:"ipc.crossing" ~comp:Comp.Ipc c.m call_cost;
   Stats.incr c.m.Machine.stats "ipc.call";
   (match Machine.metrics c.m with
@@ -218,4 +234,5 @@ let call c msg ~handler =
         "ipc.dealloc_piggyback";
     process_pending c
   end;
-  Machine.span_end c.m sp
+  Machine.span_end c.m sp;
+  Machine.span_exit c.m csp

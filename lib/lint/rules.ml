@@ -23,6 +23,13 @@ let l4_exempt =
    path. *)
 let l6_exempt = [ "test/" ]
 
+(* L7 targets *clients* of the span facility. The sink and the machine
+   wrappers manipulate open spans by design (drain-on-end, adoption into
+   closed transfers), the trace layer has its own span vocabulary, and
+   the tests construct deliberately unbalanced trees to exercise the
+   runtime violation reporting. *)
+let l7_exempt = [ "lib/sim/"; "lib/span/"; "lib/trace/"; "test/" ]
+
 let under prefixes file =
   List.exists (fun p -> String.starts_with ~prefix:p file) prefixes
 
@@ -350,54 +357,58 @@ let iter_shallow on_expr e =
   if is_scope_boundary e then () else it.expr it e
 
 (* (definitely, possibly): does every / any syntactic exit path through
-   [e] perform a relinquish call? Exceptional exits are treated
+   [e] perform a call satisfying [is_rel]? Exceptional exits are treated
    optimistically (a [try] body's balance stands for the whole). *)
-let rec rel e =
-  let none = (false, false) in
-  let all_evaluated parts =
-    (List.exists fst parts, List.exists snd parts)
+let rel ~is_rel e =
+  let rec go e =
+    let none = (false, false) in
+    let all_evaluated parts =
+      (List.exists fst parts, List.exists snd parts)
+    in
+    match e.pexp_desc with
+    | Pexp_fun _ | Pexp_function _ | Pexp_for _ | Pexp_while _ | Pexp_lazy _
+      ->
+        none
+    | Pexp_apply (f, args) ->
+        let here = is_rel f in
+        let d, p = all_evaluated (List.map (fun (_, a) -> go a) args) in
+        (here || d, here || p)
+    | Pexp_sequence (a, b) -> all_evaluated [ go a; go b ]
+    | Pexp_let (_, vbs, body) ->
+        all_evaluated (go body :: List.map (fun vb -> go vb.pvb_expr) vbs)
+    | Pexp_ifthenelse (c, t, f) ->
+        let dc, pc = go c in
+        let dt, pt = go t in
+        let df, pf = match f with Some f -> go f | None -> (false, false) in
+        (dc || (dt && df), pc || pt || pf)
+    | Pexp_match (s, cases) ->
+        let ds, ps = go s in
+        let rs = List.map (fun c -> go c.pc_rhs) cases in
+        ( ds || (cases <> [] && List.for_all fst rs),
+          ps || List.exists snd rs )
+    | Pexp_try (b, cases) ->
+        let db, pb = go b in
+        (db, pb || List.exists (fun c -> snd (go c.pc_rhs)) cases)
+    | Pexp_constraint (e, _)
+    | Pexp_coerce (e, _, _)
+    | Pexp_open (_, e)
+    | Pexp_letmodule (_, _, e)
+    | Pexp_letexception (_, e)
+    | Pexp_construct (_, Some e)
+    | Pexp_variant (_, Some e)
+    | Pexp_assert e
+    | Pexp_field (e, _)
+    | Pexp_send (e, _) ->
+        go e
+    | Pexp_tuple l | Pexp_array l -> all_evaluated (List.map go l)
+    | Pexp_record (fields, base) ->
+        all_evaluated
+          (List.map (fun (_, e) -> go e) fields
+          @ match base with Some b -> [ go b ] | None -> [])
+    | Pexp_setfield (a, _, b) -> all_evaluated [ go a; go b ]
+    | _ -> none
   in
-  match e.pexp_desc with
-  | Pexp_fun _ | Pexp_function _ | Pexp_for _ | Pexp_while _ | Pexp_lazy _ ->
-      none
-  | Pexp_apply (f, args) ->
-      let here = is_release f in
-      let d, p = all_evaluated (List.map (fun (_, a) -> rel a) args) in
-      (here || d, here || p)
-  | Pexp_sequence (a, b) -> all_evaluated [ rel a; rel b ]
-  | Pexp_let (_, vbs, body) ->
-      all_evaluated (rel body :: List.map (fun vb -> rel vb.pvb_expr) vbs)
-  | Pexp_ifthenelse (c, t, f) ->
-      let dc, pc = rel c in
-      let dt, pt = rel t in
-      let df, pf = match f with Some f -> rel f | None -> (false, false) in
-      (dc || (dt && df), pc || pt || pf)
-  | Pexp_match (s, cases) ->
-      let ds, ps = rel s in
-      let rs = List.map (fun c -> rel c.pc_rhs) cases in
-      ( ds || (cases <> [] && List.for_all fst rs),
-        ps || List.exists snd rs )
-  | Pexp_try (b, cases) ->
-      let db, pb = rel b in
-      (db, pb || List.exists (fun c -> snd (rel c.pc_rhs)) cases)
-  | Pexp_constraint (e, _)
-  | Pexp_coerce (e, _, _)
-  | Pexp_open (_, e)
-  | Pexp_letmodule (_, _, e)
-  | Pexp_letexception (_, e)
-  | Pexp_construct (_, Some e)
-  | Pexp_variant (_, Some e)
-  | Pexp_assert e
-  | Pexp_field (e, _)
-  | Pexp_send (e, _) ->
-      rel e
-  | Pexp_tuple l | Pexp_array l -> all_evaluated (List.map rel l)
-  | Pexp_record (fields, base) ->
-      all_evaluated
-        (List.map (fun (_, e) -> rel e) fields
-        @ match base with Some b -> [ rel b ] | None -> [])
-  | Pexp_setfield (a, _, b) -> all_evaluated [ rel a; rel b ]
-  | _ -> none
+  go e
 
 let nested_scopes e =
   let acc = ref [] in
@@ -418,12 +429,16 @@ let nested_scopes e =
   it.expr it e;
   !acc
 
-let rec analyze_scope ~file ~name acc e =
+(* Shared scope walk for the two balance rules: find the first [is_acq]
+   call of each scope, run the definitely/possibly analysis with
+   [is_rel], and let [flag] decide whether the (d, p) pair is a
+   finding. *)
+let rec analyze_scope ~is_acq ~is_rel ~flag ~file ~name acc e =
   let acquire = ref None in
   iter_shallow
     (fun e ->
       match e.pexp_desc with
-      | Pexp_apply (f, _) when is_acquire f && !acquire = None -> (
+      | Pexp_apply (f, _) when is_acq f && !acquire = None -> (
           match ident_path f with
           | Some p -> acquire := Some (String.concat "." p, e.pexp_loc)
           | None -> ())
@@ -431,28 +446,80 @@ let rec analyze_scope ~file ~name acc e =
     e;
   let acc =
     match !acquire with
-    | Some (fn, loc) ->
-        let d, p = rel e in
-        if p && not d then
-          let line, col = line_col loc in
-          F.v ~rule:"L4" ~file ~line ~col
-            (Printf.sprintf
-               "%s acquires an fbuf reference via %s but relinquishes on \
-                only some syntactic exit paths"
-               name fn)
-          :: acc
-        else acc
+    | Some (fn, loc) -> (
+        let d, p = rel ~is_rel e in
+        match flag ~name ~fn ~d ~p with
+        | Some (rule, msg) ->
+            let line, col = line_col loc in
+            F.v ~rule ~file ~line ~col msg :: acc
+        | None -> acc)
     | None -> acc
   in
   List.fold_left
-    (fun acc body -> analyze_scope ~file ~name:(name ^ ".<fun>") acc body)
+    (fun acc body ->
+      analyze_scope ~is_acq ~is_rel ~flag ~file ~name:(name ^ ".<fun>") acc
+        body)
     acc (nested_scopes e)
 
-let l4_pass ~file str =
+let balance_pass ~is_acq ~is_rel ~flag ~file str =
   let bindings = impl_bindings "" str [] in
   List.fold_left
-    (fun acc (name, e) -> analyze_scope ~file ~name acc (strip_funs e))
+    (fun acc (name, e) ->
+      analyze_scope ~is_acq ~is_rel ~flag ~file ~name acc (strip_funs e))
     [] bindings
+
+let l4_pass ~file str =
+  let flag ~name ~fn ~d ~p =
+    if p && not d then
+      Some
+        ( "L4",
+          Printf.sprintf
+            "%s acquires an fbuf reference via %s but relinquishes on only \
+             some syntactic exit paths"
+            name fn )
+    else None
+  in
+  balance_pass ~is_acq:is_acquire ~is_rel:is_release ~flag ~file str
+
+(* ------------------------------------------------------------------ *)
+(* L7: span begin/end balance                                          *)
+
+(* A span id obtained from any of the open-span entry points must be
+   closed on every syntactic exit path of the scope that opened it — an
+   unfinished span corrupts the per-machine context stack and shows up
+   only later, as a drain-time violation on some unrelated transfer.
+   Unlike L4, never releasing at all is also a finding: span ids are
+   meaningless outside their machine, so there is no ownership
+   hand-off that could justify it. Matching is by function name, so
+   [Machine.span_enter] and any alias of it count alike. *)
+
+let span_acquire_names =
+  [ "span_enter"; "span_adopt"; "span_begin"; "transfer_begin" ]
+
+let span_release_names = [ "span_exit"; "span_end"; "transfer_end" ]
+
+let is_span_acquire e =
+  match rev_path e with
+  | Some (last :: _) -> List.mem last span_acquire_names
+  | _ -> false
+
+let is_span_release e =
+  match rev_path e with
+  | Some (last :: _) -> List.mem last span_release_names
+  | _ -> false
+
+let l7_pass ~file str =
+  let flag ~name ~fn ~d ~p:_ =
+    if not d then
+      Some
+        ( "L7",
+          Printf.sprintf
+            "%s opens a span via %s but does not close it on every \
+             syntactic exit path"
+            name fn )
+    else None
+  in
+  balance_pass ~is_acq:is_span_acquire ~is_rel:is_span_release ~flag ~file str
 
 (* ------------------------------------------------------------------ *)
 (* L6: metric registrations                                            *)
@@ -495,7 +562,7 @@ let labelled l args =
 
 let is_metric_registration f args =
   (match rev_path f with
-  | Some (("counter" | "gauge" | "histogram") :: _) -> true
+  | Some (("counter" | "gauge" | "histogram" | "sketch") :: _) -> true
   | _ -> false)
   && labelled "name" args <> None
   && labelled "help" args <> None
@@ -573,9 +640,11 @@ let lint_unit ~file ~impl ?intf () =
       let l2 = not (under l2_allowed norm) in
       let l4 = not (under l4_exempt norm) in
       let l6 = not (under l6_exempt norm) in
+      let l7 = not (under l7_exempt norm) in
       let a = expression_pass ~file ~l1 ~l2 str in
       let b = if l4 then l4_pass ~file str else [] in
       let d = if l6 then l6_pass ~file str else [] in
+      let e = if l7 then l7_pass ~file str else [] in
       let c =
         match intf with
         | None -> []
@@ -585,7 +654,7 @@ let lint_unit ~file ~impl ?intf () =
             | Ok_impl _ -> assert false
             | Ok_intf sg -> l3_pass ~file str sg)
       in
-      List.sort_uniq F.compare (a @ b @ c @ d)
+      List.sort_uniq F.compare (a @ b @ c @ d @ e)
 
 let lint_file ~root rel =
   let read p =

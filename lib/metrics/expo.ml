@@ -11,6 +11,7 @@ let kind_str = function
   | Metrics.Counter -> "counter"
   | Metrics.Gauge -> "gauge"
   | Metrics.Hist -> "histogram"
+  | Metrics.Sketch -> "sketch"
 
 (* Prometheus label-value escaping: backslash, quote, newline. *)
 let escape s =
@@ -67,25 +68,30 @@ let to_prometheus t =
         Hashtbl.add seen d.id ();
         emit_header d.name d.help (kind_str d.kind)
       end;
-      match s.histo with
-      | Some h ->
-          let ls = label_str d.labels s.labels in
-          Buffer.add_string b
-            (Printf.sprintf "%s_count%s %d\n" d.name ls (Histogram.count h));
-          Buffer.add_string b
-            (Printf.sprintf "%s_sum%s %s\n" d.name ls (fnum (Histogram.sum h)));
-          List.iter
-            (fun p ->
-              let q =
-                label_str
-                  (d.labels @ [ "quantile" ])
-                  (s.labels @ [ Printf.sprintf "%.2f" (p /. 100.0) ])
-              in
-              Buffer.add_string b
-                (Printf.sprintf "%s%s %s\n" d.name q
-                   (fnum (Histogram.percentile h p))))
-            [ 50.0; 90.0; 99.0 ]
-      | None ->
+      let distribution ~count ~sum ~percentile =
+        let ls = label_str d.labels s.labels in
+        Buffer.add_string b (Printf.sprintf "%s_count%s %d\n" d.name ls count);
+        Buffer.add_string b
+          (Printf.sprintf "%s_sum%s %s\n" d.name ls (fnum sum));
+        List.iter
+          (fun p ->
+            let q =
+              label_str
+                (d.labels @ [ "quantile" ])
+                (s.labels @ [ Printf.sprintf "%.2f" (p /. 100.0) ])
+            in
+            Buffer.add_string b
+              (Printf.sprintf "%s%s %s\n" d.name q (fnum (percentile p))))
+          [ 50.0; 90.0; 99.0 ]
+      in
+      match (s.histo, s.sketch) with
+      | Some h, _ ->
+          distribution ~count:(Histogram.count h) ~sum:(Histogram.sum h)
+            ~percentile:(Histogram.percentile h)
+      | None, Some sk ->
+          distribution ~count:(Sketch.count sk) ~sum:(Sketch.sum sk)
+            ~percentile:(Sketch.quantile sk)
+      | None, None ->
           Buffer.add_string b
             (Printf.sprintf "%s%s %s\n" d.name
                (label_str d.labels s.labels)

@@ -9,7 +9,7 @@
    disabled" is represented by the absence of an instance — the
    instrumented code paths then do no registry work at all. *)
 
-type kind = Counter | Gauge | Hist
+type kind = Counter | Gauge | Hist | Sketch
 
 type def = {
   id : int;
@@ -45,6 +45,7 @@ let register kind ~name ~help ?(labels = []) () =
 let counter ~name ~help ?labels () = register Counter ~name ~help ?labels ()
 let gauge ~name ~help ?labels () = register Gauge ~name ~help ?labels ()
 let histogram ~name ~help ?labels () = register Hist ~name ~help ?labels ()
+let sketch ~name ~help ?labels () = register Sketch ~name ~help ?labels ()
 
 let definitions () =
   Hashtbl.fold (fun _ d acc -> d :: acc) defs []
@@ -52,12 +53,14 @@ let definitions () =
 
 let find_def name = Hashtbl.find_opt defs name
 
-(* A value cell. Counters and gauges use [v]; histograms use [hist].
-   [n] counts observations (for histograms and counter increments). *)
+(* A value cell. Counters and gauges use [v]; histograms use [hist];
+   sketch-kind metrics use [sk]. [n] counts observations (for
+   distributions and counter increments). *)
 type cell = {
   mutable v : float;
   mutable n : int;
   hist : Fbufs_trace.Histogram.t option;
+  sk : Sketch.t option;
 }
 
 type t = {
@@ -87,7 +90,11 @@ let cell t d labels =
           hist =
             (match d.kind with
             | Hist -> Some (Fbufs_trace.Histogram.create ())
-            | Counter | Gauge -> None);
+            | Counter | Gauge | Sketch -> None);
+          sk =
+            (match d.kind with
+            | Sketch -> Some (Sketch.create ())
+            | Counter | Gauge | Hist -> None);
         }
       in
       Hashtbl.add t.cells key c;
@@ -107,14 +114,16 @@ let set t d ?(labels = []) x =
 
 let observe t d ?(labels = []) x =
   let c = cell t d labels in
-  (match c.hist with
-  | Some h -> Fbufs_trace.Histogram.add h x
-  | None -> c.v <- c.v +. x);
+  (match (c.hist, c.sk) with
+  | Some h, _ -> Fbufs_trace.Histogram.add h x
+  | None, Some sk -> Sketch.add sk x
+  | None, None -> c.v <- c.v +. x);
   c.n <- c.n + 1
 
 let cell_value d c =
-  match (d.kind, c.hist) with
-  | Hist, Some h -> Fbufs_trace.Histogram.sum h
+  match (d.kind, c.hist, c.sk) with
+  | Hist, Some h, _ -> Fbufs_trace.Histogram.sum h
+  | Sketch, _, Some sk -> Sketch.sum sk
   | _ -> c.v
 
 let value t d ~labels =
@@ -140,6 +149,7 @@ type sample = {
   value : float;
   count : int;
   histo : Fbufs_trace.Histogram.t option;
+  sketch : Sketch.t option;
 }
 
 let samples t =
@@ -150,7 +160,14 @@ let samples t =
       match Hashtbl.find_opt by_id id with
       | None -> acc
       | Some d ->
-          { def = d; labels; value = cell_value d c; count = c.n; histo = c.hist }
+          {
+            def = d;
+            labels;
+            value = cell_value d c;
+            count = c.n;
+            histo = c.hist;
+            sketch = c.sk;
+          }
           :: acc)
     t.cells []
   |> List.sort (fun a b ->

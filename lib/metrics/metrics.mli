@@ -10,7 +10,7 @@
     lint rule L6 additionally checks, statically, that registrations use
     literal names at module init. *)
 
-type kind = Counter | Gauge | Hist
+type kind = Counter | Gauge | Hist | Sketch
 
 type def = {
   id : int;  (** dense registration index *)
@@ -34,6 +34,13 @@ val histogram :
     {!Fbufs_trace.Histogram}. Raises [Invalid_argument] on a bad or
     duplicate name, as {!counter}. *)
 
+val sketch : name:string -> help:string -> ?labels:string list -> unit -> def
+(** Register a distribution metric backed by a mergeable quantile
+    {!Sketch} (default relative-error bound) instead of a log-bucket
+    histogram — the bounded-memory choice for high-cardinality label
+    sets. Raises [Invalid_argument] on a bad or duplicate name, as
+    {!counter}. *)
+
 val definitions : unit -> def list
 (** All registered definitions in registration order. *)
 
@@ -56,12 +63,14 @@ val set : t -> def -> ?labels:string list -> float -> unit
 (** Gauge write (overwrites the cell). *)
 
 val observe : t -> def -> ?labels:string list -> float -> unit
-(** Histogram sample; on a non-histogram def behaves like {!add}. *)
+(** Distribution sample (histogram or sketch, per the def's kind); on a
+    scalar def behaves like {!add}. *)
 
 val value : t -> def -> labels:string list -> float option
-(** Current value of one cell ([None] if never touched). Histograms
-    report their sample sum. All three accessors raise [Invalid_argument]
-    when the label-value count does not match the definition. *)
+(** Current value of one cell ([None] if never touched). Histograms and
+    sketches report their sample sum. All three accessors raise
+    [Invalid_argument] when the label-value count does not match the
+    definition. *)
 
 val value_by_name : t -> name:string -> labels:string list -> float option
 
@@ -74,6 +83,7 @@ type sample = {
   value : float;
   count : int;  (** number of updates that hit this cell *)
   histo : Fbufs_trace.Histogram.t option;  (** populated for [Hist] cells *)
+  sketch : Sketch.t option;  (** populated for [Sketch] cells *)
 }
 
 val samples : t -> sample list

@@ -1,0 +1,64 @@
+(* Windowed time series over registry gauges.
+
+   A fixed-capacity ring buffer per (gauge, labels) cell: [tick] samples
+   every touched gauge of a metrics instance at the caller's timestamp,
+   overwriting the oldest point once the window is full. Like the rest
+   of the observability layer this is pay-for-play — nothing samples
+   unless an instance exists and someone ticks it. *)
+
+type ring = {
+  buf : (float * float) array;  (* (ts_us, value) *)
+  mutable head : int;  (* next write position *)
+  mutable len : int;
+}
+
+type t = {
+  capacity : int;
+  rings : (string * string list, ring) Hashtbl.t;
+  mutable order : (string * string list) list;  (* newest first *)
+  mutable ticks : int;
+}
+
+let create ?(capacity = 256) () =
+  if capacity <= 0 then invalid_arg "Timeseries.create: capacity must be > 0";
+  { capacity; rings = Hashtbl.create 16; order = []; ticks = 0 }
+
+let capacity t = t.capacity
+let ticks t = t.ticks
+
+let push t key ts v =
+  let r =
+    match Hashtbl.find_opt t.rings key with
+    | Some r -> r
+    | None ->
+        let r = { buf = Array.make t.capacity (0.0, 0.0); head = 0; len = 0 } in
+        Hashtbl.add t.rings key r;
+        t.order <- key :: t.order;
+        r
+  in
+  r.buf.(r.head) <- (ts, v);
+  r.head <- (r.head + 1) mod t.capacity;
+  if r.len < t.capacity then r.len <- r.len + 1
+
+let tick t ~now_us mx =
+  t.ticks <- t.ticks + 1;
+  List.iter
+    (fun (s : Metrics.sample) ->
+      if s.Metrics.def.Metrics.kind = Metrics.Gauge then
+        push t (s.Metrics.def.Metrics.name, s.Metrics.labels) now_us
+          s.Metrics.value)
+    (Metrics.samples mx)
+
+let points r =
+  Array.init r.len (fun i ->
+      r.buf.((r.head - r.len + i + Array.length r.buf * 2) mod Array.length r.buf))
+
+let series t =
+  List.rev_map
+    (fun key ->
+      let name, labels = key in
+      (name, labels, points (Hashtbl.find t.rings key)))
+    t.order
+
+let find t ~name ~labels =
+  Option.map points (Hashtbl.find_opt t.rings (name, labels))

@@ -1,0 +1,26 @@
+(** Windowed gauge time series: a fixed-capacity ring buffer per
+    (gauge, labels) cell, fed by explicitly ticking a metrics instance.
+    Once a window is full the oldest point is overwritten, so memory is
+    bounded regardless of run length. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default 256) points retained per series. Raises
+    [Invalid_argument] when not positive. *)
+
+val capacity : t -> int
+
+val ticks : t -> int
+(** Number of {!tick} calls so far. *)
+
+val tick : t -> now_us:float -> Metrics.t -> unit
+(** Sample every touched [Gauge] cell of the instance at [now_us]. *)
+
+val series : t -> (string * string list * (float * float) array) list
+(** Every tracked series in first-seen order: gauge name, label values,
+    and its [(ts_us, value)] points oldest first (at most
+    {!capacity}). *)
+
+val find :
+  t -> name:string -> labels:string list -> (float * float) array option

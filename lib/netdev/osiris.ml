@@ -194,9 +194,16 @@ let scatter_at t (fb : Fbuf.t) ~off data =
 
 let dma_scatter t fb data = scatter_at t fb ~off:0 data
 
-let deliver t ~flight ~vci data =
+let deliver t ~flight ~cause ~vci data =
   let now = Des.now t.des in
   Machine.elapse_to t.m now;
+  (* Continue the sender's transfer on this machine: the rx span follows
+     the wire-flight span, and everything charged while the handler runs
+     (interrupt, driver, demux, protocol processing, the ack) lands in
+     the same causal tree. [cause] is (transfer, flight-span) — both 0
+     when the sender recorded no spans. *)
+  let ctid, cfsp = cause in
+  let csp = Machine.span_adopt t.m ~transfer:ctid ~follows:cfsp "osiris.rx" in
   Machine.charge ~kind:"interrupt" ~comp:Comp.Net t.m
     t.m.cost.Cost_model.interrupt;
   Machine.charge ~kind:"driver.op" ~comp:Comp.Net t.m
@@ -261,9 +268,10 @@ let deliver t ~flight ~vci data =
     scatter_at t fb ~off:len (Bytes.make slack '\000')
   end;
   let msg = Msg.of_fbuf fb ~off:0 ~len in
-  match t.rx_handler with
+  (match t.rx_handler with
   | Some h -> h ~vci msg
-  | None -> Msg.free_all msg ~dom:t.kernel
+  | None -> Msg.free_all msg ~dom:t.kernel);
+  Machine.span_exit t.m csp
 
 let send_pdu t ~vci msg =
   let peer =
@@ -271,6 +279,19 @@ let send_pdu t ~vci msg =
     | Some p -> p
     | None -> invalid_arg "Osiris.send_pdu: adapter is not connected"
   in
+  (* Causal tx span; a send outside any context (driver-level retry)
+     adopts the transfer stamped on the message's first fbuf. *)
+  let csp =
+    if not (Machine.spanning t.m) then 0
+    else if Machine.current_transfer t.m <> 0 then
+      Machine.span_enter t.m "osiris.tx"
+    else
+      let tid =
+        match Msg.fbufs msg with fb :: _ -> fb.Fbuf.xfer | [] -> 0
+      in
+      Machine.span_adopt t.m ~transfer:tid "osiris.tx"
+  in
+  let ctid = Machine.current_transfer t.m in
   Machine.charge ~kind:"driver.op" ~comp:Comp.Net t.m
     t.m.cost.Cost_model.driver_op;
   Stats.incr t.m.stats "osiris.tx_pdu";
@@ -324,8 +345,18 @@ let send_pdu t ~vci msg =
         ~args:[ ("vci", Fbufs_trace.Trace.Int vci) ]
         "osiris.pdu_dropped";
       Machine.async_end t.m ~id:flight "osiris.pdu"
-    end
+    end;
+    ignore
+      (Machine.span_flight t.m ~transfer:ctid ~follows:csp ~start_us:start
+         ~end_us:finish "pdu.lost")
   end
-  else
+  else begin
+    let fsp =
+      Machine.span_flight t.m ~transfer:ctid ~follows:csp ~start_us:start
+        ~end_us:(finish +. propagation) "pdu.flight"
+    in
+    let cause = (ctid, fsp) in
     Des.schedule t.des (finish +. propagation) (fun () ->
-        deliver peer ~flight ~vci data)
+        deliver peer ~flight ~cause ~vci data)
+  end;
+  Machine.span_exit t.m csp

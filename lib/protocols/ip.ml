@@ -46,6 +46,8 @@ let charge_frag t =
   Stats.incr m.Machine.stats "ip.frag_op"
 
 let push t msg =
+  let m = Fbufs_xkernel.Protocol.machine t.proto in
+  let csp = Machine.span_enter m ~domain:t.dom.Fbufs_vm.Pd.name "ip.push" in
   Fbufs_xkernel.Protocol.charge_op t.proto;
   let total = Msg.length msg in
   let id = t.next_id in
@@ -66,7 +68,8 @@ let push t msg =
     Header.release_header ~dom:t.dom hdr_fb;
     if more then send (off + len) rest
   in
-  send 0 msg
+  send 0 msg;
+  Machine.span_exit m csp
 
 let deliver_up t msg =
   match t.up with
@@ -74,9 +77,11 @@ let deliver_up t msg =
   | None -> failwith "Ip: no upper protocol wired"
 
 let pop t pdu =
+  let m = Fbufs_xkernel.Protocol.machine t.proto in
+  let csp = Machine.span_enter m ~domain:t.dom.Fbufs_vm.Pd.name "ip.pop" in
   Fbufs_xkernel.Protocol.charge_op t.proto;
   let hdr = Header.peek pdu ~as_:t.dom ~len:header_size in
-  if Header.get_u16 hdr 0 <> magic then
+  (if Header.get_u16 hdr 0 <> magic then
     Stats.incr (Fbufs_xkernel.Protocol.machine t.proto).Machine.stats "ip.bad_header"
   else begin
     let total = Header.get_u32 hdr 2 in
@@ -113,7 +118,8 @@ let pop t pdu =
           deliver_up t whole
       | Some _ | None -> ()
     end
-  end
+  end);
+  Machine.span_exit m csp
 
 let create ~dom ~below ~header_alloc ?(pdu_size = 4096) () =
   if pdu_size <= 0 then invalid_arg "Ip.create: pdu_size must be positive";

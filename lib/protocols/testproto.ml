@@ -35,11 +35,17 @@ let sink ~dom ?consume ?free () =
   in
   proto.Fbufs_xkernel.Protocol.pop <-
     (fun msg ->
+      let m = Fbufs_xkernel.Protocol.machine proto in
+      let csp =
+        Fbufs_sim.Machine.span_enter m ~domain:dom.Fbufs_vm.Pd.name
+          "sink.consume"
+      in
       t.received <- t.received + 1;
       t.received_bytes <- t.received_bytes + Msg.length msg;
       t.last <- Some msg;
       consume msg;
-      free msg);
+      free msg;
+      Fbufs_sim.Machine.span_exit m csp);
   t
 
 let sink_proto t = t.proto

@@ -25,6 +25,8 @@ let delivered t = t.delivered
 let no_port_drops t = t.no_port_drops
 
 let push t msg =
+  let m = Fbufs_xkernel.Protocol.machine t.proto in
+  let csp = Machine.span_enter m ~domain:t.dom.Fbufs_vm.Pd.name "udp.push" in
   Fbufs_xkernel.Protocol.charge_op t.proto;
   let csum = if t.checksum then Msg.checksum msg ~as_:t.dom else 0 in
   let b = Bytes.create header_size in
@@ -35,12 +37,15 @@ let push t msg =
   Header.set_u16 b 10 csum;
   let hdr_fb, pdu = Header.prepend ~alloc:t.header_alloc ~as_:t.dom b msg in
   t.below.Fbufs_xkernel.Protocol.push pdu;
-  Header.release_header ~dom:t.dom hdr_fb
+  Header.release_header ~dom:t.dom hdr_fb;
+  Machine.span_exit m csp
 
 let pop t pdu =
+  let m = Fbufs_xkernel.Protocol.machine t.proto in
+  let csp = Machine.span_enter m ~domain:t.dom.Fbufs_vm.Pd.name "udp.pop" in
   Fbufs_xkernel.Protocol.charge_op t.proto;
   let stats = (Fbufs_xkernel.Protocol.machine t.proto).Machine.stats in
-  if Msg.length pdu < header_size then Stats.incr stats "udp.short_pdu"
+  (if Msg.length pdu < header_size then Stats.incr stats "udp.short_pdu"
   else begin
     let hdr = Header.peek pdu ~as_:t.dom ~len:header_size in
     if Header.get_u16 hdr 0 <> magic then Stats.incr stats "udp.bad_header"
@@ -67,7 +72,8 @@ let pop t pdu =
             t.no_port_drops <- t.no_port_drops + 1;
             Stats.incr stats "udp.no_port"
     end
-  end
+  end);
+  Machine.span_exit m csp
 
 let create ~dom ~below ~header_alloc ?(src_port = 1000) ?(dst_port = 2000)
     ?(checksum = false) () =

@@ -16,14 +16,19 @@ type t = {
   mutable next_id : int;
   mutable trace : Trace.t option;
   mutable metrics : Fbufs_metrics.Metrics.t option;
+  mutable spans : Fbufs_span.Span.t option;
+  mutable series : Fbufs_metrics.Timeseries.t option;
   mutable comp_ctx : Fbufs_metrics.Component.t option;
 }
 
 let default_trace : Trace.t option ref = ref None
 let default_metrics : Fbufs_metrics.Metrics.t option ref = ref None
+let default_spans : Fbufs_span.Span.t option ref = ref None
+let default_series : Fbufs_metrics.Timeseries.t option ref = ref None
 
 let create ?(name = "host") ?(cost = Cost_model.decstation_5000_200)
-    ?(nframes = 4096) ?(tlb_entries = 64) ?(seed = 42) ?trace ?metrics () =
+    ?(nframes = 4096) ?(tlb_entries = 64) ?(seed = 42) ?trace ?metrics ?spans
+    ?series () =
   let rng = Rng.create seed in
   {
     name;
@@ -38,6 +43,8 @@ let create ?(name = "host") ?(cost = Cost_model.decstation_5000_200)
     next_id = 1;
     trace = (match trace with Some _ as t -> t | None -> !default_trace);
     metrics = (match metrics with Some _ as x -> x | None -> !default_metrics);
+    spans = (match spans with Some _ as s -> s | None -> !default_spans);
+    series = (match series with Some _ as s -> s | None -> !default_series);
     comp_ctx = None;
   }
 
@@ -46,6 +53,11 @@ let tracing m = m.trace <> None
 let set_metrics m x = m.metrics <- x
 let metered m = m.metrics <> None
 let metrics m = m.metrics
+let set_spans m s = m.spans <- s
+let spanning m = m.spans <> None
+let spans m = m.spans
+let set_series m s = m.series <- s
+let series m = m.series
 
 let with_comp m c f =
   let saved = m.comp_ctx in
@@ -76,6 +88,15 @@ let charge ?kind ?comp m us =
       Fbufs_metrics.Ledger.charge
         (Fbufs_metrics.Metrics.ledger mx)
         ~machine:m.name ~comp:c ~kind:k us);
+  (match m.spans with
+  | None -> ()
+  | Some s ->
+      let c = match eff with Some c -> c | None -> Fbufs_metrics.Component.Other in
+      Fbufs_span.Span.on_charge s ~machine:m.name ~comp:c us);
+  (match (m.series, m.metrics) with
+  | Some ts, Some mx ->
+      Fbufs_metrics.Timeseries.tick ts ~now_us:(Clock.now m.clock) mx
+  | _ -> ());
   Clock.advance m.clock us;
   m.busy.busy_us <- m.busy.busy_us +. us
 
@@ -120,6 +141,69 @@ let async_end m ?domain ?path_id ?args ~id kind =
   | Some tr ->
       Trace.async_end tr ~ts_us:(Clock.now m.clock) ~machine:m.name ?domain
         ?path_id ?args ~id kind
+
+(* Causal span plumbing. Like the trace spans above, ids are 0 and the
+   calls do nothing when no sink is attached, so instrumentation sites
+   need no guards; unlike trace spans these carry the transfer context
+   that {!charge} attributes cost into. *)
+
+let transfer_begin m ?domain ?path_id label =
+  match m.spans with
+  | None -> 0
+  | Some s ->
+      Fbufs_span.Span.transfer_begin s ~machine:m.name
+        ~ts_us:(Clock.now m.clock) ?domain ?path_id label
+
+let transfer_end m tid =
+  match m.spans with
+  | None -> ()
+  | Some s ->
+      Fbufs_span.Span.transfer_end s ~machine:m.name ~ts_us:(Clock.now m.clock)
+        tid
+
+let with_transfer m ?domain ?path_id label f =
+  match m.spans with
+  | None -> f ()
+  | Some _ ->
+      let tid = transfer_begin m ?domain ?path_id label in
+      Fun.protect ~finally:(fun () -> transfer_end m tid) f
+
+let span_enter m ?domain ?path_id kind =
+  match m.spans with
+  | None -> 0
+  | Some s ->
+      Fbufs_span.Span.enter s ~machine:m.name ~ts_us:(Clock.now m.clock)
+        ?domain ?path_id kind
+
+let span_exit m id =
+  match m.spans with
+  | None -> ()
+  | Some s ->
+      Fbufs_span.Span.finish s ~machine:m.name ~ts_us:(Clock.now m.clock) id
+
+let span_adopt m ~transfer ?follows ?domain ?path_id kind =
+  match m.spans with
+  | None -> 0
+  | Some s ->
+      Fbufs_span.Span.adopt s ~machine:m.name ~ts_us:(Clock.now m.clock)
+        ~transfer ?follows ?domain ?path_id kind
+
+let span_flight m ~transfer ~follows ~start_us ~end_us ?path_id kind =
+  match m.spans with
+  | None -> 0
+  | Some s ->
+      Fbufs_span.Span.flight s ~transfer ~follows ~start_us ~end_us ?path_id
+        kind
+
+let current_transfer m =
+  match m.spans with
+  | None -> 0
+  | Some s -> Fbufs_span.Span.current s ~machine:m.name
+
+let span_context m =
+  match m.spans with
+  | None -> (0, 0)
+  | Some s -> Fbufs_span.Span.context s ~machine:m.name
 
 let elapse_to ?kind m t =
   (match (m.trace, kind) with

@@ -22,6 +22,8 @@ type t = {
   mutable next_id : int;
   mutable trace : Fbufs_trace.Trace.t option;
   mutable metrics : Fbufs_metrics.Metrics.t option;
+  mutable spans : Fbufs_span.Span.t option;
+  mutable series : Fbufs_metrics.Timeseries.t option;
   mutable comp_ctx : Fbufs_metrics.Component.t option;
 }
 
@@ -36,6 +38,15 @@ val default_metrics : Fbufs_metrics.Metrics.t option ref
     and cost-attribution ledger. [None] (the default) means machines are
     unmetered and the instrumented paths do no registry work at all. *)
 
+val default_spans : Fbufs_span.Span.t option ref
+(** Same install pattern, for the causal span sink. [None] (the default)
+    disables span recording: every [transfer_begin]/[span_enter] returns
+    0 immediately and {!charge} does one pointer comparison. *)
+
+val default_series : Fbufs_metrics.Timeseries.t option ref
+(** Same install pattern, for windowed gauge time series. Only sampled
+    when the machine also carries a metrics instance. *)
+
 val create :
   ?name:string ->
   ?cost:Cost_model.t ->
@@ -44,11 +55,14 @@ val create :
   ?seed:int ->
   ?trace:Fbufs_trace.Trace.t ->
   ?metrics:Fbufs_metrics.Metrics.t ->
+  ?spans:Fbufs_span.Span.t ->
+  ?series:Fbufs_metrics.Timeseries.t ->
   unit ->
   t
 (** Defaults: DecStation 5000/200 cost model, 4096 frames (16 MB), 64 TLB
     entries, seed 42, trace sink [!default_trace], metrics instance
-    [!default_metrics]. *)
+    [!default_metrics], span sink [!default_spans], time series
+    [!default_series]. *)
 
 val set_trace : t -> Fbufs_trace.Trace.t option -> unit
 
@@ -65,6 +79,17 @@ val metered : t -> bool
     {!metrics}) so an unmetered machine pays one pointer comparison. *)
 
 val metrics : t -> Fbufs_metrics.Metrics.t option
+
+val set_spans : t -> Fbufs_span.Span.t option -> unit
+
+val spanning : t -> bool
+(** Whether a causal span sink is attached — the counterpart of
+    {!tracing}/{!metered} for the span instrumentation. *)
+
+val spans : t -> Fbufs_span.Span.t option
+
+val set_series : t -> Fbufs_metrics.Timeseries.t option -> unit
+val series : t -> Fbufs_metrics.Timeseries.t option
 
 val with_comp : t -> Fbufs_metrics.Component.t -> (unit -> 'a) -> 'a
 (** Run [f] with every {!charge} attributed to the given component,
@@ -89,6 +114,57 @@ val charge_n :
 val elapse_to : ?kind:string -> t -> float -> unit
 (** Wait (idle) until an absolute simulated time; no busy time accrues.
     With [?kind], the idle interval is emitted as a [Complete] slice. *)
+
+(** {1 Causal spans}
+
+    Wrappers over {!Fbufs_span.Span} stamped with this machine's clock
+    and name. With no sink attached every call is a pointer comparison;
+    begin/enter return 0 and end/exit ignore 0, so call sites need no
+    guards. Every {!charge} made while a span is open on the machine is
+    attributed to it (innermost wins) under its Table 1 component. *)
+
+val transfer_begin : t -> ?domain:string -> ?path_id:int -> string -> int
+(** Open a transfer (one end-to-end data movement) rooted on this
+    machine; returns the transfer id to carry across domains and
+    machines (0 when disabled). *)
+
+val transfer_end : t -> int -> unit
+
+val with_transfer : t -> ?domain:string -> ?path_id:int -> string -> (unit -> 'a) -> 'a
+(** Bracket [f] in a transfer. The transfer's spans may keep arriving
+    after [f] returns (deliveries {!span_adopt} into it); only the root
+    span closes here. *)
+
+val span_enter : t -> ?domain:string -> ?path_id:int -> string -> int
+(** Child span of the innermost open span; 0 when disabled or when the
+    machine has no open transfer context. *)
+
+val span_exit : t -> int -> unit
+
+val span_adopt :
+  t -> transfer:int -> ?follows:int -> ?domain:string -> ?path_id:int -> string -> int
+(** Continue transfer [transfer] on this machine (the receive side of a
+    cross-machine delivery), linked by a follows-from edge (default: the
+    transfer's root). Ignores transfer id 0. *)
+
+val span_flight :
+  t ->
+  transfer:int ->
+  follows:int ->
+  start_us:float ->
+  end_us:float ->
+  ?path_id:int ->
+  string ->
+  int
+(** Record a wire-occupancy span (serialization + propagation) on the
+    {!Fbufs_span.Span.wire} pseudo-machine. *)
+
+val current_transfer : t -> int
+(** The machine's current transfer context (0 when none or disabled) —
+    what {!Fbufs.Allocator.alloc} stamps into new fbufs. *)
+
+val span_context : t -> int * int
+(** [(transfer id, innermost open span id)], 0s when absent. *)
 
 val trace_instant :
   t ->

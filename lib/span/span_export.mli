@@ -1,0 +1,24 @@
+(** Span-tree exporters: Chrome trace_event (with flow events for
+    follows-from edges) and JSONL with a round-trip parser. *)
+
+val chrome : Span.t -> Fbufs_trace.Json.t
+(** Chrome [trace_event] document: machines map to pids, domains to
+    tids, spans to ["X"] complete events (component charges in [args]),
+    follows-from edges to flow-event pairs (["s"]/["f"] with
+    [bp = "e"]). Loadable in about:tracing / Perfetto. *)
+
+val write_chrome : string -> Span.t -> unit
+
+val jsonl : Span.t -> string
+(** One JSON object per line: each transfer line followed by its span
+    lines, in creation order. Open spans serialize [end_us] as [null]. *)
+
+val write_jsonl : string -> Span.t -> unit
+
+exception Parse_error of string
+
+val parse_jsonl : string -> Span.transfer list
+(** Inverse of {!jsonl}: rebuilds the transfers with their spans
+    attached (recording order restored by {!Span.spans_of}). Raises
+    {!Parse_error} on malformed input, unknown record types, or spans
+    referencing unknown transfers. *)

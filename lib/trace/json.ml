@@ -29,10 +29,19 @@ let escape_to buf s =
     s;
   Buffer.add_char buf '"'
 
+(* Shortest decimal that parses back to exactly [f]: writing a value and
+   reading it again must be the identity (the sketch serialization's
+   [equal] and the span JSONL round-trip rely on it), without printing
+   17 digits for every 0.1. *)
 let float_to_string f =
   if Float.is_integer f && Float.abs f < 1e15 then
     Printf.sprintf "%.1f" f
-  else Printf.sprintf "%.12g" f
+  else
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s
+    else
+      let s = Printf.sprintf "%.15g" f in
+      if float_of_string s = f then s else Printf.sprintf "%.17g" f
 
 let rec to_buffer buf = function
   | Null -> Buffer.add_string buf "null"

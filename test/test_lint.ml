@@ -103,6 +103,33 @@ let test_l6_duplicate_across_units () =
   Rules.lint_unit ~file:"lib/demo/two.ml" ~impl ()
   |> expect_one ~rule:"L6" ~line:1 ~keyword:"lib/demo/one.ml"
 
+let test_l6_sketch_is_a_registration () =
+  lint_l6 "let s =\n  Mx.sketch ~name:\"walls_us\" ~help:\"h\" ()\n"
+  |> expect_one ~rule:"L6" ~line:2 ~keyword:"fbufs_"
+
+(* L7 *)
+
+let test_l7_never_closed () =
+  lint
+    "let fire m =\n\
+    \  let sp = Machine.span_enter m \"demo\" in\n\
+    \  work sp\n"
+  |> expect_one ~rule:"L7" ~line:2 ~keyword:"every"
+
+let test_l7_closed_on_some_paths () =
+  lint
+    "let fire m ok =\n\
+    \  let sp = Machine.span_enter m \"demo\" in\n\
+    \  if ok then Machine.span_exit m sp\n"
+  |> expect_one ~rule:"L7" ~line:2 ~keyword:"every"
+
+let test_l7_dangling_transfer () =
+  lint
+    "let go m =\n\
+    \  let tid = Machine.transfer_begin m \"msg\" in\n\
+    \  push tid\n"
+  |> expect_one ~rule:"L7" ~line:2 ~keyword:"every"
+
 (* ------------------------------------------------------------------ *)
 (* Layer A: negatives                                                  *)
 
@@ -158,6 +185,31 @@ let test_l6_exempt_under_test () =
       "let c () = Mx.counter ~name:(dyn ()) ~help:\"h\" ()\n"
   in
   check (Alcotest.list finding_t) "test/ is exempt" [] fs
+
+let test_l7_balanced_is_clean () =
+  let fs =
+    lint
+      "let fire m ok =\n\
+      \  let sp = Machine.span_enter m \"demo\" in\n\
+      \  (if ok then fast () else slow ());\n\
+      \  Machine.span_exit m sp\n"
+  in
+  check (Alcotest.list finding_t) "closed on every path" [] fs
+
+let test_l7_with_transfer_is_clean () =
+  (* The bracketed form owns the close internally; it is not an open. *)
+  let fs =
+    lint "let go m =\n  Machine.with_transfer m \"msg\" (fun () -> push ())\n"
+  in
+  check (Alcotest.list finding_t) "with_transfer needs no pairing" [] fs
+
+let test_l7_exempt_under_span () =
+  let fs =
+    Rules.lint_unit ~file:"lib/span/fixture.ml"
+      ~impl:"let go m =\n  let sp = Machine.span_enter m \"demo\" in\n  keep sp\n"
+      ()
+  in
+  check (Alcotest.list finding_t) "lib/span is exempt" [] fs
 
 (* Dogfood: the unit whose Invalid_argument contract this PR pins down
    must itself pass L3 — the .mli names the exception. *)
@@ -329,6 +381,10 @@ let () =
           tc "L6 under lambda" `Quick test_l6_registration_under_lambda;
           tc "L6 duplicate in unit" `Quick test_l6_duplicate_within_unit;
           tc "L6 duplicate across units" `Quick test_l6_duplicate_across_units;
+          tc "L6 sketch registration" `Quick test_l6_sketch_is_a_registration;
+          tc "L7 never closed" `Quick test_l7_never_closed;
+          tc "L7 partial close" `Quick test_l7_closed_on_some_paths;
+          tc "L7 dangling transfer" `Quick test_l7_dangling_transfer;
         ] );
       ( "layer-a-clean",
         [
@@ -338,6 +394,9 @@ let () =
           tc "L4 balanced" `Quick test_l4_full_release_is_clean;
           tc "L6 well-formed" `Quick test_l6_top_level_literal_is_clean;
           tc "L6 test exemption" `Quick test_l6_exempt_under_test;
+          tc "L7 balanced" `Quick test_l7_balanced_is_clean;
+          tc "L7 with_transfer" `Quick test_l7_with_transfer_is_clean;
+          tc "L7 span exemption" `Quick test_l7_exempt_under_span;
           tc "dogfood: lifecycle" `Quick test_l3_dogfood_lifecycle;
         ] );
       ( "layer-b",

@@ -116,6 +116,87 @@ let test_metrics_disabled_not_slower_than_enabled () =
     true
     (disabled_ns <= enabled_ns *. 1.05)
 
+(* Causal spans are pay-for-play the same way: every span entry point
+   guards on the machine carrying a sink, so a run without one pays a
+   single pointer comparison per site. The workload is identical on both
+   sides — the transfer bracket is part of the cycle — and the recording
+   side does strictly more (context stack, per-span charge cells). *)
+let test_spans_disabled_not_slower_than_enabled () =
+  let module Machine = Fbufs_sim.Machine in
+  let plain = Testbed.create () in
+  let app_p = Testbed.user_domain plain "app" in
+  let alloc_p =
+    Testbed.allocator plain ~domains:[ app_p ] Fbuf.cached_volatile
+  in
+  let spanned = Testbed.create () in
+  Machine.set_spans spanned.Testbed.m (Some (Fbufs_span.Span.create ()));
+  let app_s = Testbed.user_domain spanned "app" in
+  let alloc_s =
+    Testbed.allocator spanned ~domains:[ app_s ] Fbuf.cached_volatile
+  in
+  let cycle tb alloc dom () =
+    Machine.with_transfer tb.Testbed.m "cycle" (alloc_free alloc dom 8)
+  in
+  let enabled_ns, disabled_ns =
+    interleaved_medians
+      ~fresh:(cycle spanned alloc_s app_s)
+      ~cached:(cycle plain alloc_p app_p)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "median unspanned cycle (%.0f ns) <= 1.05 * median recording cycle \
+        (%.0f ns)"
+       disabled_ns enabled_ns)
+    true
+    (disabled_ns <= enabled_ns *. 1.05)
+
+(* Same structural claim for the quantile sketch: observation sites guard
+   on the machine carrying a registry, so with none installed a sketch
+   observation site costs one match on [Machine.metrics]. *)
+let guard_sketch =
+  Fbufs_metrics.Metrics.sketch ~name:"fbufs_perf_guard_wall_us"
+    ~help:"perf-guard fixture sketch" ()
+
+let test_sketch_disabled_not_slower_than_enabled () =
+  let module Mx = Fbufs_metrics.Metrics in
+  let unmetered = Testbed.create () in
+  let app_u = Testbed.user_domain unmetered "app" in
+  let alloc_u =
+    Testbed.allocator unmetered ~domains:[ app_u ] Fbuf.cached_volatile
+  in
+  let mx = Mx.create () in
+  let saved = !Fbufs_sim.Machine.default_metrics in
+  Fbufs_sim.Machine.default_metrics := Some mx;
+  let metered =
+    Fun.protect
+      ~finally:(fun () -> Fbufs_sim.Machine.default_metrics := saved)
+      (fun () -> Testbed.create ())
+  in
+  let app_m = Testbed.user_domain metered "app" in
+  let alloc_m =
+    Testbed.allocator metered ~domains:[ app_m ] Fbuf.cached_volatile
+  in
+  let cycle tb alloc dom () =
+    alloc_free alloc dom 8 ();
+    (* The transfer-wall observation site, guarded exactly like the
+       harness's: registry absent means no sketch work at all. *)
+    match Fbufs_sim.Machine.metrics tb.Testbed.m with
+    | None -> ()
+    | Some mx -> Mx.observe mx guard_sketch 42.0
+  in
+  let enabled_ns, disabled_ns =
+    interleaved_medians
+      ~fresh:(cycle metered alloc_m app_m)
+      ~cached:(cycle unmetered alloc_u app_u)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "median sketchless cycle (%.0f ns) <= 1.05 * median sketching cycle \
+        (%.0f ns)"
+       disabled_ns enabled_ns)
+    true
+    (disabled_ns <= enabled_ns *. 1.05)
+
 (* The lint analyzer (PR 4) parses the whole tree with compiler-libs; it
    must never be linked into the benchmark executable or the harness it
    measures — an accidental dependency would drag parser tables and
@@ -160,6 +241,10 @@ let () =
         [
           Alcotest.test_case "disabled pays nothing" `Quick
             test_metrics_disabled_not_slower_than_enabled;
+          Alcotest.test_case "disabled spans pay nothing" `Quick
+            test_spans_disabled_not_slower_than_enabled;
+          Alcotest.test_case "disabled sketch pays nothing" `Quick
+            test_sketch_disabled_not_slower_than_enabled;
         ] );
       ( "link isolation",
         [
