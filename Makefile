@@ -1,4 +1,4 @@
-.PHONY: all build test check lint model-check bench bench-json stats spans bench-diff clean
+.PHONY: all build test check lint model-check bench bench-json stats spans bench-diff ablation-tlb clean
 
 all: build
 
@@ -31,10 +31,10 @@ bench:
 
 # Full-quota benchmark run that also writes the machine-readable
 # trajectory (one JSON object per benchmark: name, ns_per_run, r_square,
-# date). BENCH_PR6.json is the committed snapshot for this PR;
-# BENCH_PR5.json is the previous one the regression gate diffs against.
+# date). BENCH_PR7.json is the committed snapshot for this PR;
+# BENCH_PR6.json is the previous one the regression gate diffs against.
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_PR6.json
+	dune exec bench/main.exe -- --json BENCH_PR7.json
 
 # Per-component cost attribution of a Table 1 run (simulated
 # microseconds charged to alloc/map/unmap/tlb_flush/zero/secure/copy/...),
@@ -55,7 +55,19 @@ spans:
 # were collected on the same machine with make bench-json, so the deltas
 # are meaningful; 50% tolerance absorbs scheduler noise on ~ms runs.
 bench-diff:
-	dune exec bin/fbufs_cli.exe -- bench-diff BENCH_PR5.json BENCH_PR6.json --tolerance-pct 50
+	dune exec bin/fbufs_cli.exe -- bench-diff BENCH_PR6.json BENCH_PR7.json --tolerance-pct 50
+
+# TLB shootdown deferral/elision ablation: the on/off comparison table,
+# plus a folded-stack rendering of a Table 1 run in both modes and their
+# diff (feed either .folded file to flamegraph.pl or speedscope; the diff
+# shows exactly which stacks the elision removed cost from). CI uploads
+# all three files as an artifact.
+ablation-tlb:
+	dune exec bin/fbufs_cli.exe -- ablation --only tlb-elision
+	dune exec bin/fbufs_cli.exe -- stats table1 --folded table1-elide.folded
+	dune exec bin/fbufs_cli.exe -- stats table1 --no-tlb-elision --folded table1-noelide.folded
+	diff -u table1-noelide.folded table1-elide.folded > ablation-tlb-folded.diff; test $$? -le 1
+	@echo "wrote table1-elide.folded table1-noelide.folded ablation-tlb-folded.diff"
 
 clean:
 	dune clean

@@ -17,7 +17,38 @@ let fig4 () = H.Exp_fig4.print (H.Exp_fig4.run ())
 let fig5 () = H.Exp_fig5.print (H.Exp_fig5.run ~uncached:false ())
 let fig6 () = H.Exp_fig5.print (H.Exp_fig5.run ~uncached:true ())
 
-let ablations () = H.Ablation.run_all ()
+(* Keep the table's names aligned with DESIGN.md section 6; [--only] is
+   what lets Makefile targets (ablation-tlb) and CI run one ablation
+   without paying for the whole suite. *)
+let ablation_table =
+  [
+    ("security-zeroing", H.Ablation.security_zeroing);
+    ("tlb-size", H.Ablation.tlb_size);
+    ("tlb-elision", H.Ablation.tlb_elision);
+    ("ipc-latency", H.Ablation.ipc_latency);
+    ("ipc-facility", H.Ablation.ipc_facility);
+    ("integrated-vs-rebuild", H.Ablation.integrated_vs_rebuild);
+    ("securing-policy", H.Ablation.securing_policy);
+    ("free-list-policy", H.Ablation.free_list_policy);
+    ("window-size", H.Ablation.window_size);
+    ("chunk-size", H.Ablation.chunk_size);
+    ("adapter-demux", H.Ablation.adapter_demux);
+    ("path-locality", H.Ablation.path_locality);
+    ("pdu-size-cpu-load", H.Ablation.pdu_size_cpu_load);
+  ]
+
+let ablations only =
+  match only with
+  | None -> H.Ablation.run_all ()
+  | Some name -> (
+      match List.assoc_opt name ablation_table with
+      | Some f -> f ()
+      | None ->
+          Format.eprintf "ablation: unknown name %S; valid names:@.%a@." name
+            (Format.pp_print_list ~pp_sep:Format.pp_print_newline
+               (fun ppf (n, _) -> Format.fprintf ppf "  %s" n))
+            ablation_table;
+          exit 2)
 
 let info_cmd () =
   Format.printf "DecStation 5000/200 cost model:@.%a@."
@@ -37,6 +68,20 @@ let zero_flag =
      paper's Table 1 excludes this cost."
   in
   Arg.(value & flag & info [ "zero-on-alloc" ] ~doc)
+
+let no_elision_flag =
+  let doc =
+    "Disable generation-tagged TLB shootdown deferral and elision: every \
+     protection downgrade and unmap pays the immediate per-page \
+     shootdown, reproducing the pre-elision cost model exactly."
+  in
+  Arg.(value & flag & info [ "no-tlb-elision" ] ~doc)
+
+let with_elision no_elision f =
+  Fbufs_vm.Pmap.elision_enabled := not no_elision;
+  Fun.protect
+    ~finally:(fun () -> Fbufs_vm.Pmap.elision_enabled := true)
+    f
 
 let trace_file =
   let doc =
@@ -83,8 +128,15 @@ let traced term =
 
 let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
 
-let thunk1 f = Term.(const (fun zero () -> f zero) $ zero_flag)
-let thunk0 f = Term.const (fun () -> f ())
+let thunk1 f =
+  Term.(
+    const (fun zero no_elision () -> with_elision no_elision (fun () -> f zero))
+    $ zero_flag $ no_elision_flag)
+
+let thunk0 f =
+  Term.(
+    const (fun no_elision () -> with_elision no_elision (fun () -> f ()))
+    $ no_elision_flag)
 
 let config_conv =
   let parse s =
@@ -390,16 +442,18 @@ let stats_cmd =
     in
     Arg.(value & opt (some string) None & info [ "folded" ] ~doc ~docv:"FILE")
   in
-  let run experiment zero metrics folded =
-    H.Metrics_run.with_metrics ?file:metrics ?folded ~summary:true (fun () ->
-        match experiment with
-        | `Table1 -> table1 zero
-        | `Remap -> remap ()
-        | `Fig3 -> fig3 ()
-        | `Fig4 -> fig4 ()
-        | `Fig5 -> fig5 ()
-        | `Fig6 -> fig6 ()
-        | `All -> all zero)
+  let run experiment zero no_elision metrics folded =
+    with_elision no_elision (fun () ->
+        H.Metrics_run.with_metrics ?file:metrics ?folded ~summary:true
+          (fun () ->
+            match experiment with
+            | `Table1 -> table1 zero
+            | `Remap -> remap ()
+            | `Fig3 -> fig3 ()
+            | `Fig4 -> fig4 ()
+            | `Fig5 -> fig5 ()
+            | `Fig6 -> fig6 ()
+            | `All -> all zero))
   in
   Cmd.v
     (Cmd.info "stats"
@@ -407,7 +461,9 @@ let stats_cmd =
          "Run an experiment with the metrics registry attached and print \
           the per-component cost-attribution breakdown (the component \
           column sums exactly to the run's total charged simulated time)")
-    Term.(const run $ experiment $ zero_flag $ metrics_file $ folded)
+    Term.(
+      const run $ experiment $ zero_flag $ no_elision_flag $ metrics_file
+      $ folded)
 
 let bench_diff_cmd =
   let old_file =
@@ -454,8 +510,19 @@ let cmds =
       (traced (thunk0 fig5));
     cmd "fig6" "Figure 6: end-to-end throughput, uncached fbufs"
       (traced (thunk0 fig6));
-    cmd "ablation" "Design-choice ablations (DESIGN.md section 6)"
-      (traced (thunk0 ablations));
+    (let only =
+       let doc =
+         "Run a single ablation by name (e.g. tlb-elision) instead of the \
+          whole suite."
+       in
+       Arg.(value & opt (some string) None & info [ "only" ] ~doc ~docv:"NAME")
+     in
+     cmd "ablation" "Design-choice ablations (DESIGN.md section 6)"
+       (traced
+          Term.(
+            const (fun only no_elision () ->
+                with_elision no_elision (fun () -> ablations only))
+            $ only $ no_elision_flag)));
     cmd "info" "Print the calibrated cost model" Term.(const info_cmd $ const ());
     cmd "all" "Run every experiment" (traced (thunk1 all));
     stats_cmd;

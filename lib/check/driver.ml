@@ -48,6 +48,9 @@ type state = {
   reals : (int, Fbuf.t) Hashtbl.t;  (* model key -> real fbuf *)
   ps : int;
   mutable next_eph : int;
+  mutable ephs : Pd.t list;
+      (* every Crash-spawned domain, kept so the TLB audit can resolve
+         their ASIDs and pmaps after termination *)
   mutable step : int;
   (* Expected metric counts, per allocator index, derived from the
      model's own allocation decisions. When the replay runs metered,
@@ -110,6 +113,7 @@ let make_state ~seed =
     reals = Hashtbl.create 64;
     ps = Testbed.page_size tb;
     next_eph = 0;
+    ephs = [];
     step = 0;
     exp_hit = Array.make (Array.length allocs) 0;
     exp_fresh = Array.make (Array.length allocs) 0;
@@ -120,6 +124,17 @@ let make_state ~seed =
 
 let real st (mf : Model.fbuf) = Hashtbl.find st.reals mf.Model.key
 let mfs st p = List.filter p (Model.all st.model)
+
+(* Record in the model that this buffer's pages saw a teardown which may
+   legally defer its TLB shootdowns. Called at every event that unmaps or
+   invalidates translations (free, pageout, COW-invalidating send); the
+   TLB audit then rejects any queued shootdown on a page outside this
+   sanctioned set. *)
+let sanction st (mf : Model.fbuf) =
+  let fb = real st mf in
+  for i = 0 to fb.Fbuf.npages - 1 do
+    Model.window_open st.model ~vpn:(fb.Fbuf.base_vpn + i)
+  done
 
 let resolve l i =
   match l with [] -> None | _ -> Some (List.nth l (i mod List.length l))
@@ -170,6 +185,7 @@ let run_balance st =
   List.iter
     (fun mf ->
       st.exp_reclaimed.(mf.Model.alloc) <- st.exp_reclaimed.(mf.Model.alloc) + 1;
+      sanction st mf;
       Model.apply_reclaim st.model mf)
     gone
 
@@ -269,6 +285,86 @@ let run_audit st =
   | v :: _ as all ->
       fail "audit: %d violation(s); first: %s" (List.length all) v
 
+(* -- TLB discipline audit ---------------------------------------------- *)
+
+(* IPC meta buffers (headers, serialized DAGs) are not modeled fbufs, but
+   their deferred frees queue shootdowns too; sanction the meta
+   allocator's whole owned address range around each call. *)
+let sanction_meta st cn =
+  match Ipc.meta_allocator cn with
+  | None -> ()
+  | Some a ->
+      let cp = (Region.config st.region).Region.chunk_pages in
+      List.iter
+        (fun (base, nchunks) ->
+          for vpn = base to base + (nchunks * cp) - 1 do
+            Model.window_open st.model ~vpn
+          done)
+        (Allocator.owned_chunks a)
+
+let domain_of_asid st asid =
+  List.find_opt
+    (fun (d : Pd.t) -> Pd.asid d = asid)
+    ((st.kernel :: Array.to_list st.doms) @ st.ephs)
+
+(* Runs after every step. Three invariants of the deferred-shootdown
+   discipline, checked against the real TLB's introspection surface:
+
+   - a live entry must agree with the pmap: if the translation is gone,
+     a shootdown for it must be queued (the legal deferral window); and
+     a writable entry over a read-only translation is a violation even
+     when a shootdown is queued — protection downgrades must shoot down
+     immediately, never defer (this is what catches
+     [Pmap.chaos_defer_downgrade]);
+   - a queued shootdown must be on a page the model saw torn down, and
+     its translation must actually be gone (only removals may defer);
+   - each domain's generation word must be where the model expects it
+     (this world never flushes an ASID, so any movement is a stray
+     flush). *)
+let tlb_audit st =
+  let tlb = st.m.Machine.tlb in
+  Tlb.iter_live tlb (fun ~asid ~vpn ~writable ->
+      match domain_of_asid st asid with
+      | None ->
+          (* ASID 0 is not a domain: the kernel IPC path's synthetic
+             pressure entries (Machine.domain_crossing_tlb_pressure). *)
+          if asid <> 0 then
+            fail "tlb audit: live entry for unknown asid %d (vpn %#x)" asid vpn
+      | Some d -> (
+          match Pmap.lookup (Vm_map.pmap d.Pd.map) ~vpn with
+          | Some e ->
+              if writable && not e.Pmap.writable then
+                fail
+                  "tlb audit: %s vpn %#x: writable TLB entry over a \
+                   read-only translation (a downgrade shootdown was \
+                   deferred or elided)"
+                  d.Pd.name vpn
+          | None ->
+              if not (Tlb.pending_covers tlb ~asid ~vpn) then
+                fail
+                  "tlb audit: %s vpn %#x: live TLB entry with no \
+                   translation and no queued shootdown"
+                  d.Pd.name vpn));
+  Tlb.iter_pending tlb (fun ~asid ~vpn _p ->
+      if not (Model.window_sanctions st.model ~vpn) then
+        fail "tlb audit: queued shootdown on never-torn-down vpn %#x" vpn;
+      match domain_of_asid st asid with
+      | None -> fail "tlb audit: queued shootdown for unknown asid %d" asid
+      | Some d ->
+          if Pmap.lookup (Vm_map.pmap d.Pd.map) ~vpn <> None then
+            fail
+              "tlb audit: %s vpn %#x: shootdown deferred while the \
+               translation is still installed (only removals may defer)"
+              d.Pd.name vpn);
+  List.iter
+    (fun (d : Pd.t) ->
+      let got = Tlb.generation tlb ~asid:(Pd.asid d) in
+      let want = Model.expected_generation st.model ~dom:d.Pd.id in
+      if got <> want then
+        fail "tlb audit: %s generation %d, model expected %d" d.Pd.name got
+          want)
+    (st.kernel :: Array.to_list st.doms)
+
 (* -- expected refusals -------------------------------------------------- *)
 
 let refusal_matches r (e : exn) =
@@ -361,6 +457,7 @@ let do_ipc st ~conn ~fbuf ~len =
         | Ok () -> ()
         | Error _ -> fail "ipc: candidate unexpectedly unsendable");
         Model.apply_send mf ~dst:d.Pd.id;
+        sanction st mf;
         let view = Model.read_view mf ~dom:d.Pd.id in
         let want_all = Model.expected_bytes st.model mf view in
         let want = Bytes.sub want_all 0 wlen in
@@ -383,6 +480,7 @@ let do_ipc st ~conn ~fbuf ~len =
         (match !received with
         | None -> fail "ipc: handler never ran"
         | Some rm -> Ipc.free_deferred cn rm);
+        sanction_meta st cn;
         Ipc.flush_deallocs cn;
         Model.apply_free st.model mf ~dom:d.Pd.id;
         true
@@ -458,6 +556,7 @@ let do_bad_dag st ~kind =
         Transfer.free fb ~dom:b;
         Model.apply_free st.model mf ~dom:b.Pd.id;
         Transfer.free fb ~dom:a;
+        sanction st mf;
         Model.apply_free st.model mf ~dom:a.Pd.id;
         true)
 
@@ -504,6 +603,9 @@ let exec st (op : Op.t) =
           | Ok () ->
               Transfer.send fb ~src:s ~dst:d;
               Model.apply_send mf ~dst:d.Pd.id;
+              (* A send may invalidate translations (COW, stale-mapping
+                 clears), so its pages may defer shootdowns. *)
+              sanction st mf;
               true
           | Error r ->
               expect_refusal "send" r (fun () -> Transfer.send fb ~src:s ~dst:d);
@@ -530,6 +632,7 @@ let exec st (op : Op.t) =
           match Model.free_check mf ~dom:d.Pd.id with
           | Ok () ->
               Transfer.free fb ~dom:d;
+              sanction st mf;
               Model.apply_free st.model mf ~dom:d.Pd.id;
               true
           | Error r ->
@@ -552,6 +655,7 @@ let exec st (op : Op.t) =
           then fail "reclaim: victim fbuf#%d kept its frames" fb.Fbuf.id;
           st.exp_reclaimed.(mf.Model.alloc) <-
             st.exp_reclaimed.(mf.Model.alloc) + 1;
+          sanction st mf;
           Model.apply_reclaim st.model mf)
         victims;
       true
@@ -672,9 +776,11 @@ let exec st (op : Op.t) =
           in
           let eph = Pd.create st.m (Printf.sprintf "eph%d" st.next_eph) in
           st.next_eph <- st.next_eph + 1;
+          st.ephs <- eph :: st.ephs;
           Region.register_domain st.region eph;
           Transfer.send fb ~src:holder ~dst:eph;
           Model.apply_send mf ~dst:eph.Pd.id;
+          sanction st mf;
           Lifecycle.terminate_domain st.region eph ~allocators:[];
           Model.apply_free st.model mf ~dom:eph.Pd.id;
           if Lifecycle.orphaned_references st.region eph <> 0 then
@@ -688,6 +794,59 @@ let exec st (op : Op.t) =
       | _ -> fail "exhaust: oversized allocation was granted"
       | exception Region.Chunk_limit_exceeded _ -> true
       | exception Region.Region_exhausted -> true)
+  | Op.Tlb_stale { fbuf; write } -> (
+      (* The deferral window, attacked head-on: load the buffer's
+         translations into the TLB, free it (the uncached teardown defers
+         every shootdown), and touch the old addresses in the same step —
+         before any drain point. The stale entries are still live; they
+         must not let the touch reach the freed frames. *)
+      let cands =
+        mfs st (fun f ->
+            f.Model.phase = Model.Active
+            && (not f.Model.cached)
+            && f.Model.resident && Model.total_refs f = 1
+            && Model.ref_count f f.Model.originator = 1)
+      in
+      match resolve cands fbuf with
+      | None -> false
+      | Some mf ->
+          let fb = real st mf in
+          let orig = Fbuf.originator fb in
+          let asid = Pd.asid orig in
+          ignore (try_checked_read st mf orig);
+          Transfer.free fb ~dom:orig;
+          sanction st mf;
+          Model.apply_free st.model mf ~dom:orig.Pd.id;
+          (* The read above cached every page, so the teardown must have
+             queued (not skipped) a shootdown for each translation that is
+             still in the TLB. *)
+          for i = 0 to fb.Fbuf.npages - 1 do
+            let vpn = fb.Fbuf.base_vpn + i in
+            if
+              Tlb.probe st.m.Machine.tlb ~asid ~vpn ~write:false <> Tlb.Miss
+              && not (Tlb.pending_covers st.m.Machine.tlb ~asid ~vpn)
+            then
+              fail "tlb_stale: freed page %#x cached with no queued shootdown"
+                vpn
+          done;
+          if write then (
+            match
+              Access.write_bytes orig ~vaddr:(Fbuf.vaddr fb) (Bytes.make 4 'X')
+            with
+            | () ->
+                fail "fbuf#%d: write through a stale TLB entry succeeded"
+                  fb.Fbuf.id
+            | exception Vm_map.Protection_violation _ -> ())
+          else begin
+            let got =
+              Access.read_bytes orig ~vaddr:(Fbuf.vaddr fb) ~len:(Fbuf.size fb)
+            in
+            if not (Bytes.equal got (Bytes.make (Fbuf.size fb) '\000')) then
+              fail "fbuf#%d: stale TLB entry leaked freed bytes at %d"
+                fb.Fbuf.id
+                (first_diff got (Bytes.make (Fbuf.size fb) '\000'))
+          end;
+          true)
 
 (* -- metrics differential ----------------------------------------------- *)
 
@@ -762,6 +921,7 @@ let op_label (op : Op.t) =
   | Op.Crash _ -> "crash"
   | Op.Bad_dag _ -> "bad_dag"
   | Op.Exhaust _ -> "exhaust"
+  | Op.Tlb_stale _ -> "tlb_stale"
 
 (* Every replay records spans (one transfer per executed op), so the span
    sink's own invariants run under the checker's adversarial streams:
@@ -813,6 +973,7 @@ let replay ~seed ops =
          if ran then incr executed else incr skipped;
          diff_allocators st;
          List.iter (diff_fbuf st) (Model.all st.model);
+         tlb_audit st;
          if i mod audit_every = audit_every - 1 then run_audit st)
        ops;
      run_audit st;

@@ -64,6 +64,9 @@ type t = {
   allocs : allocator array;
   mutable rev_fbufs : fbuf list;
   mutable next_key : int;
+  (* TLB discipline mirror, see the window/generation section below. *)
+  windows : (int, unit) Hashtbl.t;
+  mutable gens : (int * int) list;  (* dom -> expected generation *)
 }
 
 let create ~page_size specs =
@@ -75,6 +78,8 @@ let create ~page_size specs =
         specs;
     rev_fbufs = [];
     next_key = 0;
+    windows = Hashtbl.create 256;
+    gens = [];
   }
 
 let all t = List.rev t.rev_fbufs
@@ -273,6 +278,34 @@ let reclaim_victims t ~alloc ~max_fbufs =
       resident
   in
   List.filteri (fun i _ -> i < max 0 max_fbufs) by_age
+
+(* -- TLB shootdown windows and generations ---------------------------- *)
+
+(* Mirror of the deferred-shootdown discipline (Pmap/Tlb). The model
+   cannot predict which pages are TLB-resident — replacement is random in
+   the subject — so instead of the exact pending set it tracks the
+   sanctioned superset: a page enters the window set when a teardown
+   event that is allowed to defer its shootdown touches it (a free, a
+   pageout, an IPC deferred-free, a COW invalidation on send). The driver
+   checks after every step that every shootdown actually queued in the
+   real TLB falls on a windowed page — a pending on a page that never
+   saw a sanctioned teardown means a shootdown was deferred on the wrong
+   path. Windows only accumulate; precision comes from the companion
+   per-entry audit in the driver, not from closing them.
+
+   Generations move only on explicit ASID flushes, which the replay world
+   never issues, so the expected value pins any stray [Tlb.flush_asid] a
+   future change might introduce. The windows hashtable is private to the
+   model (nothing here is shared with the subject). *)
+
+let window_open t ~vpn = Hashtbl.replace t.windows vpn ()
+let window_sanctions t ~vpn = Hashtbl.mem t.windows vpn
+
+let expected_generation t ~dom =
+  match List.assoc_opt dom t.gens with Some g -> g | None -> 0
+
+let note_asid_flush t ~dom =
+  t.gens <- (dom, expected_generation t ~dom + 1) :: List.remove_assoc dom t.gens
 
 let apply_reclaim t fb =
   fb.resident <- false;

@@ -26,6 +26,7 @@ type t =
   | Crash of { fbuf : int }
   | Bad_dag of { kind : int }
   | Exhaust of { alloc : int }
+  | Tlb_stale of { fbuf : int; write : bool }
 
 (* Printed as valid OCaml so a failing sequence can be pasted back into a
    test as a [Fbufs_check.Op.t list] literal. *)
@@ -53,6 +54,8 @@ let pp ppf op =
   | Crash { fbuf } -> Fmt.pf ppf "Crash { fbuf = %d }" fbuf
   | Bad_dag { kind } -> Fmt.pf ppf "Bad_dag { kind = %d }" kind
   | Exhaust { alloc } -> Fmt.pf ppf "Exhaust { alloc = %d }" alloc
+  | Tlb_stale { fbuf; write } ->
+      Fmt.pf ppf "Tlb_stale { fbuf = %d; write = %b }" fbuf write
 
 let pp_list ppf ops =
   Fmt.pf ppf "@[<v 2>[@,%a@]@,]"
@@ -75,14 +78,15 @@ let gen rng ~adversary =
   in
   if not adversary then normal (r 100)
   else
-    let pick = r 130 in
+    let pick = r 134 in
     if pick < 100 then normal pick
     else if pick < 107 then Read_unref { fbuf = idx (); dom = idx () }
     else if pick < 114 then Write_foreign { fbuf = idx (); dom = idx () }
     else if pick < 120 then Use_after_free { fbuf = idx (); write = r 2 = 1 }
     else if pick < 124 then Crash { fbuf = idx () }
     else if pick < 128 then Bad_dag { kind = idx () }
-    else Exhaust { alloc = idx () }
+    else if pick < 130 then Exhaust { alloc = idx () }
+    else Tlb_stale { fbuf = idx (); write = r 2 = 1 }
 
 let gen_list rng ~adversary ~n =
   List.init n (fun _ -> gen rng ~adversary)

@@ -38,6 +38,11 @@ type t =
   | Exhaust of { alloc : int }
       (** Adversary: an allocation too large for the chunk quota must be
           refused with no state change. *)
+  | Tlb_stale of { fbuf : int; write : bool }
+      (** Adversary: free an active uncached buffer (its unmap defers the
+          TLB shootdowns) and touch its old addresses in the very same
+          step, before any barrier can drain the queue — the stale
+          translation must still fault. *)
 
 val pp : Format.formatter -> t -> unit
 (** Prints valid OCaml constructor syntax. *)

@@ -33,6 +33,9 @@ let balance t =
   let m = Region.machine t.region in
   let reclaimed = ref 0 in
   let sp = Machine.span_begin m "pageout.balance" in
+  (* Victim selection reasons about which frames are reachable, so the
+     deferred-shootdown queue must be empty before the sweep starts. *)
+  Fbufs_vm.Tlb_sync.drain m;
   (* One daemon scan costs a range operation's worth of work. *)
   Machine.charge ~kind:"pageout.scan" ~comp:Fbufs_metrics.Component.Alloc m
     m.Machine.cost.Cost_model.vm_range_op;

@@ -57,6 +57,9 @@ let protect_originator (fb : Fbuf.t) =
 
 let secure fb =
   check_active fb "Transfer.secure";
+  (* Securing is a protection barrier: any deferred shootdowns must land
+     before the immutability promise can be relied on. *)
+  Tlb_sync.drain fb.Fbuf.m;
   if not fb.Fbuf.secured then protect_originator fb
 
 let is_secured (fb : Fbuf.t) = fb.Fbuf.secured

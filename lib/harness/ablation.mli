@@ -8,6 +8,11 @@ val tlb_size : unit -> unit
 (** Per-page cost of cached/volatile transfers as the TLB grows: the 3 us
     is software refill work, so a large-enough TLB absorbs it. *)
 
+val tlb_elision : unit -> unit
+(** Generation-tagged deferral/elision of TLB shootdowns (PR 7) on vs the
+    eager PR 6 behaviour: per-message cost, shootdown/batch-drain counts,
+    and the number of flushes elided on the warm cached/volatile path. *)
+
 val ipc_latency : unit -> unit
 (** Single-boundary throughput at 4 KB and 64 KB as the IPC latency scales:
     small messages are latency-bound, large ones are not. *)

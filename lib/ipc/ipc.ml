@@ -224,6 +224,14 @@ let call c msg ~handler =
      notices for free. *)
   Machine.charge ~kind:"ipc.crossing" ~comp:Comp.Ipc c.m reply_cost;
   Machine.domain_crossing_tlb_pressure ~entries:footprint c.m;
+  (* The return crossing is the call's synchronization barrier: whatever
+     deferred shootdowns survived the roundtrip — and were not cancelled
+     by a page being re-entered with its old translation — drain here,
+     batched, so staleness is bounded by one roundtrip. (Draining once
+     per call rather than at every crossing is what gives a reused page's
+     pending shootdown the chance to be cancelled by the receiver's
+     re-fault during the call.) *)
+  Tlb_sync.drain c.m;
   if c.pending <> [] then begin
     Stats.add c.m.Machine.stats "ipc.dealloc_piggybacked"
       (List.length c.pending);

@@ -14,6 +14,8 @@ type t = {
   pmap_remove : float;
   pmap_protect : float;
   tlb_shootdown : float;
+  tlb_shootdown_batch_base : float;
+  tlb_shootdown_batch_entry : float;
   vm_range_op : float;
   fault_trap : float;
   remap_page_overhead : float;
@@ -65,6 +67,8 @@ let decstation_5000_200 =
     pmap_remove = 2.0;
     pmap_protect = 11.5;
     tlb_shootdown = 1.2;
+    tlb_shootdown_batch_base = 1.2;
+    tlb_shootdown_batch_entry = 0.3;
     vm_range_op = 9.0;
     fault_trap = 3.6;
     remap_page_overhead = 6.0;
@@ -108,6 +112,7 @@ let pp ppf c =
      access: touch %.2f, miss %.2f, refill %.2f, mod-fault %.2f@,\
      copy %.4f us/B, csum %.4f us/B, zero %.1f us/page@,\
      vm: page-op %.2f, enter %.2f, remove %.2f, protect %.2f, shootdown %.2f@,\
+     vm: shootdown-batch %.2f + %.2f/entry@,\
      vm: range-op %.2f, fault %.2f, palloc %.2f, pfree %.2f@,\
      ipc: call %.1f, reply %.1f, per-fbuf %.1f@,\
      proto %.1f, frag %.1f, driver %.1f, intr %.1f@,\
@@ -116,6 +121,7 @@ let pp ppf c =
     c.cpu_mhz c.page_size c.word_size c.word_touch c.cache_miss c.tlb_refill
     c.tlb_mod_fault c.copy_per_byte c.checksum_per_byte c.page_zero
     c.vm_page_op c.pmap_enter c.pmap_remove c.pmap_protect c.tlb_shootdown
+    c.tlb_shootdown_batch_base c.tlb_shootdown_batch_entry
     c.vm_range_op c.fault_trap c.page_alloc c.page_free c.ipc_call
     c.ipc_reply c.ipc_per_fbuf c.proto_op c.frag_op c.driver_op c.interrupt
     c.link_mbps c.cell_payload c.cell_total c.dma_startup c.dma_mbps

@@ -33,6 +33,14 @@ type t = {
       (** change protection of one live entry; costlier than enter/remove
           because the page is in active use (locks, consistency) *)
   tlb_shootdown : float;  (** invalidate one TLB entry after a pmap change *)
+  tlb_shootdown_batch_base : float;
+      (** fixed cost of draining the deferred-shootdown queue at a barrier
+          (one interprocessor-interrupt-equivalent synchronization), charged
+          once per drain regardless of how many entries are pending *)
+  tlb_shootdown_batch_entry : float;
+      (** per-entry increment of a batched drain; far below the standalone
+          {!tlb_shootdown} because the trap/synchronization cost is shared
+          across the whole batch *)
   vm_range_op : float;
       (** per-call overhead of a map-level range operation (find/reserve or
           release a virtual address range, clip map entries, take locks) *)

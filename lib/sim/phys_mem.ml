@@ -5,6 +5,12 @@ type frame_id = int
    (no implicit zeroing — that cost is explicit and charged). *)
 type frame = { mutable data : bytes; mutable refcount : int }
 
+(* The free pool is a LIFO stack: recently freed frames are reallocated
+   first. Recency matters to the TLB layer — a teardown that frees an
+   fbuf's frames in reverse page order (see [Vm_map.unmap]) leaves them
+   on the stack so the next same-size allocation pops them back in page
+   order, restoring the identical vpn -> frame translations and letting
+   the queued shootdowns be cancelled instead of flushed. *)
 type t = {
   page_size : int;
   frames : frame array;

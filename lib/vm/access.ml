@@ -45,9 +45,22 @@ let translate (dom : Pd.t) ~vaddr ~write =
           match Pmap.lookup pmap ~vpn with
           | Some e -> e.Pmap.frame
           | None ->
-              (* A TLB hit without a pmap entry means a shootdown was
-                 missed; treat as fatal mechanism bug. *)
-              failwith "Access.translate: TLB/pmap inconsistency")
+              if Tlb.pending_covers m.tlb ~asid ~vpn then begin
+                (* Legal deferral window: the translation was removed with
+                   its shootdown queued. Fault handling is the sequence
+                   point that resolves it — re-establishing the mapping
+                   runs [Pmap.enter], which either cancels the pending
+                   (identical translation: this very TLB entry is valid
+                   again, and the retry hits without paying a refill) or
+                   shoots the stale entry down before the new translation
+                   lands. *)
+                handle_fault dom ~vpn ~write ~vaddr;
+                attempt (depth + 1)
+              end
+              else
+                (* A TLB hit without a pmap entry and no queued shootdown
+                   means one was missed; treat as fatal mechanism bug. *)
+                failwith "Access.translate: TLB/pmap inconsistency")
       | Tlb.Miss -> (
           Machine.charge ~kind:"tlb.refill" ~comp:Comp.Tlb_flush m
             m.cost.Cost_model.tlb_refill;

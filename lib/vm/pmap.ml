@@ -6,30 +6,73 @@ type entry = { frame : Phys_mem.frame_id; writable : bool }
 
 type t = { m : Machine.t; asid : int; table : entry Ptable.t }
 
+(* Deferred/elidable shootdowns (generation-tagged TLB). On: removes of
+   TLB-cached translations are queued instead of flushed and cancelled
+   outright when the identical translation is re-entered; removes of
+   uncached translations pay nothing. Off: every downgrade and remove
+   pays the PR6-era immediate per-page shootdown, reproducing the
+   paper-faithful numbers byte for byte. *)
+let elision_enabled = ref true
+
+(* Chaos fault injection for the differential checker: defer even the
+   cached writable downgrade, which leaves a reachable stale *writable*
+   translation over a read-only pmap entry — exactly the protection hole
+   the paper's security argument forbids. The checker's TLB audit must
+   catch this within one step. *)
+let chaos_defer_downgrade = ref false
+
 let pmap_ops =
   Mx.counter ~name:"fbufs_pmap_ops_total" ~help:"Pmap mutations by operation"
     ~labels:[ "machine"; "op" ] ()
 
 let tlb_shootdowns =
   Mx.counter ~name:"fbufs_tlb_shootdowns_total"
-    ~help:"TLB shootdowns issued on translation downgrade or removal"
-    ~labels:[ "machine" ] ()
+    ~help:
+      "TLB shootdowns by disposition: immediate on downgrade/remove, \
+       drained in a batch, or cancelled by translation reuse"
+    ~labels:[ "machine"; "reason" ] ()
 
-let note_op t op =
-  match Machine.metrics t.m with
-  | None -> ()
-  | Some mx -> Mx.incr mx pmap_ops ~labels:[ t.m.Machine.name; op ] ()
+let tlb_elided =
+  Mx.counter ~name:"fbufs_tlb_flushes_elided_total"
+    ~help:
+      "TLB flushes elided because the translation was reused unchanged, \
+       already evicted, or never cached"
+    ~labels:[ "machine"; "reason" ] ()
 
-let note_shootdown t =
-  match Machine.metrics t.m with
+let note_op_m m op =
+  match Machine.metrics m with
   | None -> ()
-  | Some mx -> Mx.incr mx tlb_shootdowns ~labels:[ t.m.Machine.name ] ()
+  | Some mx -> Mx.incr mx pmap_ops ~labels:[ m.Machine.name; op ] ()
+
+let note_shootdown m ~reason =
+  match Machine.metrics m with
+  | None -> ()
+  | Some mx -> Mx.incr mx tlb_shootdowns ~labels:[ m.Machine.name; reason ] ()
+
+let note_elided m ~reason =
+  match Machine.metrics m with
+  | None -> ()
+  | Some mx -> Mx.incr mx tlb_elided ~labels:[ m.Machine.name; reason ] ()
+
+let note_op t op = note_op_m t.m op
 
 let create m ~asid = { m; asid; table = Ptable.create () }
 
 let asid t = t.asid
 
 let lookup t ~vpn = Ptable.find t.table vpn
+
+let cached t ~vpn =
+  Tlb.probe t.m.Machine.tlb ~asid:t.asid ~vpn ~write:false <> Tlb.Miss
+
+(* One immediate per-page shootdown: the PR6-era cost, still paid for
+   every non-deferrable invalidation. *)
+let shoot_now t ~vpn ~reason =
+  Machine.charge ~kind:"tlb.shootdown" ~comp:Comp.Tlb_flush t.m
+    t.m.cost.Cost_model.tlb_shootdown;
+  Stats.incr t.m.stats "tlb.shootdown";
+  note_shootdown t.m ~reason;
+  Tlb.invalidate t.m.tlb ~asid:t.asid ~vpn
 
 (* Each mutation is visible on the trace timeline as the Complete slice
    its [charge ~kind] emits; no separate instant is needed. *)
@@ -38,6 +81,25 @@ let enter t ~vpn ~frame ~writable =
     t.m.cost.Cost_model.pmap_enter;
   Stats.incr t.m.stats "pmap.enter";
   note_op t "enter";
+  (match Tlb.find_pending t.m.tlb ~asid:t.asid ~vpn with
+  | None -> ()
+  | Some p ->
+      Tlb.cancel_pending t.m.tlb ~asid:t.asid ~vpn;
+      if not (cached t ~vpn) then
+        (* The stale entry fell out of the TLB on its own; nothing left
+           to shoot down. *)
+        note_elided t.m ~reason:"evicted"
+      else if p.Tlb.p_frame = frame && p.Tlb.p_writable = writable then begin
+        (* Identical translation re-entered (fbuf reuse): the still-cached
+           entry is correct again, so the queued shootdown — and the
+           refill the flush would have forced — are both elided. *)
+        note_shootdown t.m ~reason:"elided-cancel";
+        note_elided t.m ~reason:"reuse"
+      end
+      else
+        (* Translation changed while the old entry may still be cached:
+           the deferral window ends here, immediately. *)
+        shoot_now t ~vpn ~reason:"remove");
   Ptable.set t.table vpn { frame; writable }
 
 let protect t ~vpn ~writable =
@@ -47,14 +109,23 @@ let protect t ~vpn ~writable =
       Machine.charge ~kind:"pmap.protect" ~comp:Comp.Secure t.m
         t.m.cost.Cost_model.pmap_protect;
       Stats.incr t.m.stats "pmap.protect";
-      note_op t "protect";
+      note_op t
+        (if (not e.writable) && writable then "protect-upgrade" else "protect");
       if e.writable && not writable then begin
-        (* Downgrade: a writable translation may be cached; shoot it down. *)
-        Machine.charge ~kind:"tlb.shootdown" ~comp:Comp.Tlb_flush t.m
-          t.m.cost.Cost_model.tlb_shootdown;
-        Stats.incr t.m.stats "tlb.shootdown";
-        note_shootdown t;
-        Tlb.invalidate t.m.tlb ~asid:t.asid ~vpn
+        if not !elision_enabled then shoot_now t ~vpn ~reason:"downgrade"
+        else if cached t ~vpn then
+          if !chaos_defer_downgrade then
+            (* Fault injection: deferring this one is unsound (see above). *)
+            Tlb.defer t.m.tlb ~asid:t.asid ~vpn ~frame:e.frame
+              ~writable:e.writable
+          else
+            (* A cached writable entry another access can still use must
+               die before the pmap says read-only: never deferred. *)
+            shoot_now t ~vpn ~reason:"downgrade"
+        else
+          (* Never cached (or already evicted): the downgrade is visible
+             to the next refill for free. *)
+          note_elided t.m ~reason:"uncached"
       end;
       Ptable.set t.table vpn { e with writable }
 
@@ -66,11 +137,15 @@ let remove t ~vpn =
         t.m.cost.Cost_model.pmap_remove;
       Stats.incr t.m.stats "pmap.remove";
       note_op t "remove";
-      Machine.charge ~kind:"tlb.shootdown" ~comp:Comp.Tlb_flush t.m
-        t.m.cost.Cost_model.tlb_shootdown;
-      Stats.incr t.m.stats "tlb.shootdown";
-      note_shootdown t;
-      Tlb.invalidate t.m.tlb ~asid:t.asid ~vpn;
+      if not !elision_enabled then shoot_now t ~vpn ~reason:"remove"
+      else if cached t ~vpn then
+        (* Deferred-safe: the access path re-consults this pmap on every
+           TLB hit, so a stale (non-writable-over-readonly) entry cannot
+           be used — queue the shootdown for the next barrier, or for
+           cancellation if the identical translation comes back first. *)
+        Tlb.defer t.m.tlb ~asid:t.asid ~vpn ~frame:e.frame
+          ~writable:e.writable
+      else note_elided t.m ~reason:"uncached";
       Ptable.remove t.table vpn;
       Some e
 

@@ -5,12 +5,23 @@
     modification of both low-level, machine dependent page tables, and
     high-level, machine-independent data structures"). The TLB refill
     handler reads this table; every mutation charges simulated time, and
-    mutations of entries that may be cached in the TLB additionally pay a
-    shootdown. *)
+    mutations of entries that may be cached in the TLB pay for TLB
+    consistency — immediately, batched at the next barrier, or not at all
+    when the translation comes back unchanged (see {!elision_enabled}). *)
 
 type entry = { frame : Fbufs_sim.Phys_mem.frame_id; writable : bool }
 
 type t
+
+val elision_enabled : bool ref
+(** Deferred/elidable shootdowns (default on). When off, every downgrade
+    and remove pays the immediate per-page shootdown, reproducing the
+    pre-generation-TLB (PR6) cost model exactly. *)
+
+val chaos_defer_downgrade : bool ref
+(** Fault injection for the differential checker (default off): defer
+    even the cached writable downgrade, leaving a reachable stale
+    writable translation the checker's TLB audit must flag. *)
 
 val create : Fbufs_sim.Machine.t -> asid:int -> t
 
@@ -21,17 +32,35 @@ val lookup : t -> vpn:int -> entry option
     refill cost is charged by the access path). *)
 
 val enter : t -> vpn:int -> frame:Fbufs_sim.Phys_mem.frame_id -> writable:bool -> unit
-(** Install or replace a translation. Charges [pmap_enter]. *)
+(** Install or replace a translation. Charges [pmap_enter]. Resolves any
+    pending deferred shootdown for the page: cancelled outright when the
+    re-entered translation is identical (the fbuf-reuse elision), turned
+    into an immediate shootdown when it changed. *)
 
 val protect : t -> vpn:int -> writable:bool -> unit
 (** Change the writable bit of an existing entry. Charges [pmap_protect],
-    plus a TLB shootdown when write permission is being removed (a stale
-    writable TLB entry would be a protection hole). Upgrades are lazy: the
-    stale read-only TLB entry is left to cause a modification fault.
-    Raises [Invalid_argument] if no entry exists. *)
+    plus a TLB shootdown when write permission is being removed from a
+    still-cached entry (a stale writable TLB entry would be a protection
+    hole — this one is never deferred); a downgrade of an uncached
+    translation is elided. Upgrades are lazy: the stale read-only TLB
+    entry is left to cause a modification fault. Raises
+    [Invalid_argument] if no entry exists. *)
 
 val remove : t -> vpn:int -> entry option
-(** Drop a translation, returning it. Charges [pmap_remove] plus a TLB
-    shootdown. Returns [None] (and charges nothing) if absent. *)
+(** Drop a translation, returning it. Charges [pmap_remove]; the TLB
+    shootdown is deferred (queued) when the translation is still cached
+    and elided when it is not. With {!elision_enabled} off, charges the
+    immediate shootdown unconditionally. Returns [None] (and charges
+    nothing) if absent. *)
 
 val entry_count : t -> int
+
+(** {2 Metrics hooks} (shared with the drain path in {!Tlb_sync}) *)
+
+val note_shootdown : Fbufs_sim.Machine.t -> reason:string -> unit
+(** Count one shootdown in [fbufs_tlb_shootdowns_total]; [reason] is one
+    of ["downgrade"], ["remove"], ["batch"], ["elided-cancel"]. *)
+
+val note_elided : Fbufs_sim.Machine.t -> reason:string -> unit
+(** Count one elided flush in [fbufs_tlb_flushes_elided_total]; [reason]
+    is one of ["reuse"], ["evicted"], ["uncached"]. *)

@@ -121,7 +121,13 @@ let free_frame t f =
 let unmap t ~vpn ~npages ~free_frames =
   charge_range_op ~comp:Comp.Unmap t;
   note_batch t npages;
-  for i = 0 to npages - 1 do
+  (* Walk the range backwards so freed frames land on the physical
+     free stack in reverse page order: a subsequent same-size allocation
+     of this address range pops them back page 0..n-1 and re-creates the
+     identical vpn -> frame translations, which is what turns the queued
+     TLB shootdowns into cancellations. Per-page charges are symmetric,
+     so the direction is cost-invisible. *)
+  for i = npages - 1 downto 0 do
     match Ptable.find t.table (vpn + i) with
     | None -> ()
     | Some e ->

@@ -75,6 +75,49 @@ let test_chaos_bug_caught_and_shrunk () =
   Alcotest.(check bool) "shrunk sequence passes without the bug" false
     (Check.Driver.failed (Check.Driver.replay ~seed:1 shrunk))
 
+(* Same acceptance shape for the TLB deferral tentpole: seed the
+   deferred-downgrade bug — protection downgrades queued like removals
+   instead of shot down immediately — and the per-step TLB audit must
+   catch it (a writable TLB entry surviving over a read-only translation,
+   or a queued shootdown whose translation is still installed) and shrink
+   the counterexample. *)
+let test_tlb_chaos_bug_caught_and_shrunk () =
+  Fun.protect ~finally:(fun () -> Pmap.chaos_defer_downgrade := false)
+  @@ fun () ->
+  Pmap.chaos_defer_downgrade := true;
+  let report, ops = Check.Driver.run ~seed:1 ~ops:400 ~adversary:false in
+  Alcotest.(check bool) "seeded bug detected" true (Check.Driver.failed report);
+  let shrunk, shrunk_report = Check.Shrink.minimize ~seed:1 ops in
+  Alcotest.(check bool) "shrunk sequence still fails" true
+    (Check.Driver.failed shrunk_report);
+  if List.length shrunk > 10 then
+    Alcotest.failf "minimal reproducer has %d ops (> 10):@.%a"
+      (List.length shrunk) Check.Op.pp_list shrunk;
+  Pmap.chaos_defer_downgrade := false;
+  Alcotest.(check bool) "shrunk sequence passes without the bug" false
+    (Check.Driver.failed (Check.Driver.replay ~seed:1 shrunk))
+
+(* The deferral window attacked deterministically: a read-touched
+   uncached buffer is freed and its old addresses touched in the same
+   step. Both the zero-read and the faulting-write arms must hold. *)
+let test_tlb_stale_direct () =
+  let ops =
+    Check.Op.
+      [
+        Alloc { alloc = 2; npages = 1 };
+        Write { fbuf = 0 };
+        Tlb_stale { fbuf = 0; write = false };
+        Alloc { alloc = 2; npages = 1 };
+        Write { fbuf = 0 };
+        Tlb_stale { fbuf = 0; write = true };
+      ]
+  in
+  let r = Check.Driver.replay ~seed:7 ops in
+  match r.Check.Driver.failure with
+  | None -> Alcotest.(check int) "all executed" 6 r.Check.Driver.executed
+  | Some (step, op, msg) ->
+      Alcotest.failf "step %d (%a): %s" step Check.Op.pp op msg
+
 (* Malformed-DAG handling, driven directly: every bad structure yields an
    empty message plus an anomaly stat, never an escaping exception. *)
 let test_integrated_bad_dags () =
@@ -207,6 +250,10 @@ let () =
         [
           Alcotest.test_case "seeded protection bug caught, shrunk to <= 10"
             `Quick test_chaos_bug_caught_and_shrunk;
+          Alcotest.test_case "seeded deferred-downgrade bug caught, shrunk"
+            `Quick test_tlb_chaos_bug_caught_and_shrunk;
+          Alcotest.test_case "stale TLB window cannot reach freed frames"
+            `Quick test_tlb_stale_direct;
         ] );
       ( "integrated edge cases",
         [

@@ -197,6 +197,35 @@ let test_sketch_disabled_not_slower_than_enabled () =
     true
     (disabled_ns <= enabled_ns *. 1.05)
 
+(* The TLB deferral rework keeps the PR 6 immediate-shootdown behaviour
+   reachable behind [Pmap.elision_enabled]; its simulated costs in that
+   mode are pinned byte-for-byte by the noelide goldens. This guards the
+   real cost: the generation tags and the pending queue the rework added
+   must not tax the legacy path — an elision-off alloc/touch/free cycle
+   (which pays every shootdown eagerly and uses none of the machinery)
+   stays within 1.05x of the elision-on cycle that benefits from it. *)
+let test_elision_off_within_noise_of_on () =
+  let tb = Testbed.create () in
+  let app = Testbed.user_domain tb "app" in
+  let cached = Testbed.allocator tb ~domains:[ app ] Fbuf.cached_volatile in
+  let cycle flag () =
+    Fbufs_vm.Pmap.elision_enabled := flag;
+    let fb = Allocator.alloc cached ~npages:8 in
+    Fbufs_vm.Access.touch_write app ~vaddr:(Fbuf.vaddr fb) ~npages:8;
+    Transfer.free fb ~dom:app
+  in
+  let on_ns, off_ns =
+    Fun.protect ~finally:(fun () -> Fbufs_vm.Pmap.elision_enabled := true)
+    @@ fun () -> interleaved_medians ~fresh:(cycle true) ~cached:(cycle false)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "median elision-off cycle (%.0f ns) <= 1.05 * median elision-on \
+        cycle (%.0f ns)"
+       off_ns on_ns)
+    true
+    (off_ns <= on_ns *. 1.05)
+
 (* The lint analyzer (PR 4) parses the whole tree with compiler-libs; it
    must never be linked into the benchmark executable or the harness it
    measures — an accidental dependency would drag parser tables and
@@ -245,6 +274,11 @@ let () =
             test_spans_disabled_not_slower_than_enabled;
           Alcotest.test_case "disabled sketch pays nothing" `Quick
             test_sketch_disabled_not_slower_than_enabled;
+        ] );
+      ( "tlb elision overhead",
+        [
+          Alcotest.test_case "elision-off path untaxed" `Quick
+            test_elision_off_within_noise_of_on;
         ] );
       ( "link isolation",
         [

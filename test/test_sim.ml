@@ -271,6 +271,62 @@ let test_tlb_reinsert_updates_permission () =
   check Alcotest.int "no duplicate" 1 (Tlb.valid_entries t);
   check_probe "writable now" Tlb.Hit (Tlb.probe t ~asid:1 ~vpn:10 ~write:true)
 
+let test_tlb_defer_cancel_take () =
+  let t = tlb () in
+  Tlb.defer t ~asid:1 ~vpn:10 ~frame:5 ~writable:true;
+  Tlb.defer t ~asid:1 ~vpn:11 ~frame:6 ~writable:false;
+  check Alcotest.int "two queued" 2 (Tlb.pending_count t);
+  Alcotest.(check bool) "covered" true (Tlb.pending_covers t ~asid:1 ~vpn:10);
+  (match Tlb.find_pending t ~asid:1 ~vpn:10 with
+  | Some p ->
+      check Alcotest.int "frame recorded" 5 p.Tlb.p_frame;
+      Alcotest.(check bool) "writability recorded" true p.Tlb.p_writable
+  | None -> Alcotest.fail "pending not found");
+  Tlb.cancel_pending t ~asid:1 ~vpn:10;
+  check Alcotest.int "one left" 1 (Tlb.pending_count t);
+  Alcotest.(check (list (pair int int)))
+    "take drains, sorted" [ (1, 11) ] (Tlb.take_pending t);
+  check Alcotest.int "empty" 0 (Tlb.pending_count t)
+
+let test_tlb_flush_asid_drops_pendings () =
+  let t = tlb () in
+  Tlb.defer t ~asid:1 ~vpn:10 ~frame:5 ~writable:true;
+  Tlb.defer t ~asid:2 ~vpn:20 ~frame:6 ~writable:true;
+  Tlb.flush_asid t ~asid:1;
+  Alcotest.(check bool) "asid 1 pending dropped" false
+    (Tlb.pending_covers t ~asid:1 ~vpn:10);
+  Alcotest.(check bool) "asid 2 pending kept" true
+    (Tlb.pending_covers t ~asid:2 ~vpn:20)
+
+(* The generation word is finite. When a flush would reach [gen_limit]
+   the TLB falls back to an eager per-entry sweep and resets the word to
+   zero — and that sweep must clear every entry tagged for the asid, or
+   an old entry whose tag happens to equal the wrapped generation would
+   resurrect with its stale translation. *)
+let test_tlb_generation_wraparound () =
+  let t = Tlb.create ~entries:4 ~gen_limit:3 (Rng.create 9) in
+  Tlb.insert t ~asid:1 ~vpn:10 ~writable:true;
+  Tlb.flush_asid t ~asid:1;
+  check Alcotest.int "gen bumped" 1 (Tlb.generation t ~asid:1);
+  Tlb.insert t ~asid:1 ~vpn:11 ~writable:true;
+  Tlb.flush_asid t ~asid:1;
+  check Alcotest.int "gen bumped again" 2 (Tlb.generation t ~asid:1);
+  Tlb.insert t ~asid:1 ~vpn:12 ~writable:true;
+  (* 2 + 1 >= gen_limit: eager sweep instead of a bump. *)
+  Tlb.flush_asid t ~asid:1;
+  check Alcotest.int "gen wrapped to zero" 0 (Tlb.generation t ~asid:1);
+  check_probe "gen-0 era entry did not resurrect" Tlb.Miss
+    (Tlb.probe t ~asid:1 ~vpn:10 ~write:false);
+  check_probe "gen-1 era entry did not resurrect" Tlb.Miss
+    (Tlb.probe t ~asid:1 ~vpn:11 ~write:false);
+  check_probe "gen-2 era entry swept" Tlb.Miss
+    (Tlb.probe t ~asid:1 ~vpn:12 ~write:false);
+  check Alcotest.int "no live entries" 0 (Tlb.valid_entries t);
+  Tlb.insert t ~asid:1 ~vpn:13 ~writable:true;
+  check_probe "post-wrap insert lives" Tlb.Hit
+    (Tlb.probe t ~asid:1 ~vpn:13 ~write:false);
+  check Alcotest.int "exactly the fresh entry" 1 (Tlb.valid_entries t)
+
 (* ------------------------------------------------------------------ *)
 (* Machine                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -413,6 +469,11 @@ let () =
           tc "flush asid selective" `Quick test_tlb_flush_asid_selective;
           tc "reinsert updates permission" `Quick
             test_tlb_reinsert_updates_permission;
+          tc "defer / cancel / take" `Quick test_tlb_defer_cancel_take;
+          tc "flush drops the asid's pendings" `Quick
+            test_tlb_flush_asid_drops_pendings;
+          tc "generation wraparound sweeps eagerly" `Quick
+            test_tlb_generation_wraparound;
         ] );
       ( "machine",
         [

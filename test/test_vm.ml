@@ -183,6 +183,96 @@ let test_protect_upgrade_mod_fault_path () =
   check Alcotest.int "write landed" 2 (Access.read_word a ~vaddr:(vpn * ps m))
 
 (* ------------------------------------------------------------------ *)
+(* Deferred shootdowns and elision                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A remove whose translation is cached queues the shootdown instead of
+   paying for it; re-entering the identical translation cancels the
+   pending, keeps the TLB entry live, and skips the refill a baseline
+   flush-on-remove would have forced. *)
+let test_deferred_remove_reenter_elides () =
+  let m, a, _ = setup () in
+  let pmap = Vm_map.pmap a.Pd.map in
+  let asid = Pd.asid a in
+  let vpn = 0x3000 in
+  let f = Phys_mem.alloc m.Machine.pmem in
+  Vm_map.map_frame a.Pd.map ~vpn ~frame:f ~prot:Prot.Read_write ~eager:true;
+  Access.write_word a ~vaddr:(vpn * ps m) 7;
+  let shoots = Stats.get m.stats "tlb.shootdown" in
+  ignore (Pmap.remove pmap ~vpn);
+  check Alcotest.int "no immediate shootdown" shoots
+    (Stats.get m.stats "tlb.shootdown");
+  Alcotest.(check bool) "shootdown queued" true
+    (Tlb.pending_covers m.Machine.tlb ~asid ~vpn);
+  let misses = Stats.get m.stats "tlb.miss" in
+  Pmap.enter pmap ~vpn ~frame:f ~writable:true;
+  Alcotest.(check bool) "pending cancelled" false
+    (Tlb.pending_covers m.Machine.tlb ~asid ~vpn);
+  check Alcotest.int "still no shootdown paid" shoots
+    (Stats.get m.stats "tlb.shootdown");
+  check Alcotest.int "read hits without a refill" 7
+    (Access.read_word a ~vaddr:(vpn * ps m));
+  check Alcotest.int "no tlb miss" misses (Stats.get m.stats "tlb.miss")
+
+(* The elision guard: if the re-entered translation differs (frame or
+   writability), the stale entry must be shot down, never reused. *)
+let test_changed_translation_shoots_down () =
+  let m, a, _ = setup () in
+  let pmap = Vm_map.pmap a.Pd.map in
+  let asid = Pd.asid a in
+  let vpn = 0x3000 in
+  let f1 = Phys_mem.alloc m.Machine.pmem in
+  let f2 = Phys_mem.alloc m.Machine.pmem in
+  Vm_map.map_frame a.Pd.map ~vpn ~frame:f1 ~prot:Prot.Read_write ~eager:true;
+  Access.write_word a ~vaddr:(vpn * ps m) 111;
+  ignore (Pmap.remove pmap ~vpn);
+  let shoots = Stats.get m.stats "tlb.shootdown" in
+  (* Same vpn, different frame: the queued shootdown must fire now. *)
+  Vm_map.map_frame a.Pd.map ~vpn ~frame:f2 ~prot:Prot.Read_write ~eager:true;
+  check Alcotest.int "stale entry shot down" (shoots + 1)
+    (Stats.get m.stats "tlb.shootdown");
+  Alcotest.(check bool) "no pending left" false
+    (Tlb.pending_covers m.Machine.tlb ~asid ~vpn);
+  Access.write_word a ~vaddr:(vpn * ps m) 222;
+  check Alcotest.int "write reached the new frame" 222
+    (Access.read_word a ~vaddr:(vpn * ps m));
+  check Alcotest.int "old frame untouched" 111
+    (let b = Phys_mem.data m.Machine.pmem f1 in
+     Char.code (Bytes.get b 0)
+     lor (Char.code (Bytes.get b 1) lsl 8)
+     lor (Char.code (Bytes.get b 2) lsl 16)
+     lor (Char.code (Bytes.get b 3) lsl 24))
+
+(* A pageout victim's translations are torn down with their shootdowns
+   deferred; the cached realloc that reuses its address range must see
+   fresh zero-filled pages, never the stale translations. *)
+let test_pageout_victim_pending_shootdown () =
+  let module Testbed = Fbufs_harness.Testbed in
+  let module Allocator = Fbufs.Allocator in
+  let module Fbuf = Fbufs.Fbuf in
+  let tb = Testbed.create () in
+  let a = Testbed.user_domain tb "a" in
+  let alloc = Testbed.allocator tb ~domains:[ a ] Fbuf.cached_volatile in
+  let m = tb.Testbed.m in
+  let fb = Allocator.alloc alloc ~npages:2 in
+  Access.touch_write a ~vaddr:(Fbuf.vaddr fb) ~npages:2;
+  Fbufs.Transfer.free fb ~dom:a;
+  check Alcotest.int "one victim" 1 (Allocator.reclaim alloc ~max_fbufs:1 ());
+  let asid = Pd.asid a in
+  for i = 0 to 1 do
+    Alcotest.(check bool) "victim page shootdown deferred" true
+      (Tlb.pending_covers m.Machine.tlb ~asid ~vpn:(fb.Fbuf.base_vpn + i))
+  done;
+  let fb2 = Allocator.alloc alloc ~npages:2 in
+  check Alcotest.int "address range reused" fb.Fbuf.base_vpn fb2.Fbuf.base_vpn;
+  let got = Access.read_bytes a ~vaddr:(Fbuf.vaddr fb2) ~len:(Fbuf.size fb2) in
+  Alcotest.(check bool) "reads zeros, not stale bytes" true
+    (Bytes.equal got (Bytes.make (Fbuf.size fb2) '\000'));
+  Access.write_word a ~vaddr:(Fbuf.vaddr fb2) 0xBEEF;
+  check Alcotest.int "write lands" 0xBEEF
+    (Access.read_word a ~vaddr:(Fbuf.vaddr fb2))
+
+(* ------------------------------------------------------------------ *)
 (* Copy-on-write                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -381,6 +471,15 @@ let () =
           tc "downgrade shoots down" `Quick
             test_protect_downgrade_shoots_down_tlb;
           tc "upgrade via mod fault" `Quick test_protect_upgrade_mod_fault_path;
+        ] );
+      ( "deferred shootdowns",
+        [
+          tc "remove defers, identical re-enter elides" `Quick
+            test_deferred_remove_reenter_elides;
+          tc "changed translation shoots down" `Quick
+            test_changed_translation_shoots_down;
+          tc "pageout victim leaves pendings, realloc is clean" `Quick
+            test_pageout_victim_pending_shootdown;
         ] );
       ( "cow",
         [
