@@ -1,4 +1,4 @@
-.PHONY: all build test check lint model-check bench bench-json stats spans bench-diff ablation-tlb clean
+.PHONY: all build test check lint model-check bench bench-json stats spans bench-diff ablation-tlb ablation-policy clean
 
 all: build
 
@@ -31,10 +31,10 @@ bench:
 
 # Full-quota benchmark run that also writes the machine-readable
 # trajectory (one JSON object per benchmark: name, ns_per_run, r_square,
-# date). BENCH_PR7.json is the committed snapshot for this PR;
-# BENCH_PR6.json is the previous one the regression gate diffs against.
+# date). BENCH_PR8.json is the committed snapshot for this PR;
+# BENCH_PR7.json is the previous one the regression gate diffs against.
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_PR7.json
+	dune exec bench/main.exe -- --json BENCH_PR8.json
 
 # Per-component cost attribution of a Table 1 run (simulated
 # microseconds charged to alloc/map/unmap/tlb_flush/zero/secure/copy/...),
@@ -55,7 +55,7 @@ spans:
 # were collected on the same machine with make bench-json, so the deltas
 # are meaningful; 50% tolerance absorbs scheduler noise on ~ms runs.
 bench-diff:
-	dune exec bin/fbufs_cli.exe -- bench-diff BENCH_PR6.json BENCH_PR7.json --tolerance-pct 50
+	dune exec bin/fbufs_cli.exe -- bench-diff BENCH_PR7.json BENCH_PR8.json --tolerance-pct 50
 
 # TLB shootdown deferral/elision ablation: the on/off comparison table,
 # plus a folded-stack rendering of a Table 1 run in both modes and their
@@ -68,6 +68,14 @@ ablation-tlb:
 	dune exec bin/fbufs_cli.exe -- stats table1 --no-tlb-elision --folded table1-noelide.folded
 	diff -u table1-noelide.folded table1-elide.folded > ablation-tlb-folded.diff; test $$? -le 1
 	@echo "wrote table1-elide.folded table1-noelide.folded ablation-tlb-folded.diff"
+
+# Buffer-sharing ablation: every congestion scenario (incast, bursty,
+# mixed RPC) under the static and fb-dynamic policies at equal pool
+# size, with the per-class drop decomposition. Deterministic simulated
+# time — the same table is golden-pinned by the test suite; CI uploads
+# it as an artifact.
+ablation-policy:
+	dune exec bin/fbufs_cli.exe -- ablation --only buffer-sharing
 
 clean:
 	dune clean

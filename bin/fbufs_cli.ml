@@ -35,11 +35,14 @@ let ablation_table =
     ("adapter-demux", H.Ablation.adapter_demux);
     ("path-locality", H.Ablation.path_locality);
     ("pdu-size-cpu-load", H.Ablation.pdu_size_cpu_load);
+    ("buffer-sharing", Fbufs_policy.Scenario.ablation);
   ]
 
 let ablations only =
   match only with
-  | None -> H.Ablation.run_all ()
+  | None ->
+      H.Ablation.run_all ();
+      Fbufs_policy.Scenario.ablation ()
   | Some name -> (
       match List.assoc_opt name ablation_table with
       | Some f -> f ()

@@ -5,6 +5,7 @@ module Msg = Fbufs_msg.Msg
 module Integrated = Fbufs_msg.Integrated
 module Ipc = Fbufs_ipc.Ipc
 module Testbed = Fbufs_harness.Testbed
+module Policy = Fbufs_policy.Policy
 
 (* The differential driver.
 
@@ -16,6 +17,15 @@ module Testbed = Fbufs_harness.Testbed
    watching the cached allocators. Physical memory is kept small (2048
    frames) so memory pressure and pageout are ordinary events rather than
    staged ones.
+
+   Three of the four allocators run under a dynamic buffer-sharing policy
+   (latency on the cached_volatile path, bulk on cached_only, control on
+   the uncached default), with a deliberately tight alpha so thresholds
+   bind during ordinary replays; the fourth stays unmanaged to keep the
+   hook-free paths (and the region's own quota refusals) covered. The
+   policy records every admission decision, and [verify_policy] re-derives
+   each one — held pages, threshold, victim choice, verdict — from the
+   model's independent restatement of the arithmetic.
 
    Each step resolves the op against the model, computes the expected
    outcome (success, a documented refusal, zeros, or a protection fault),
@@ -44,6 +54,8 @@ type state = {
   allocs : Allocator.t array;
   conns : Ipc.conn array;
   daemon : Pageout.t;
+  pol : Policy.t;
+  managed : Policy.klass option array;  (* per allocator index *)
   model : Model.t;
   reals : (int, Fbuf.t) Hashtbl.t;  (* model key -> real fbuf *)
   ps : int;
@@ -58,10 +70,20 @@ type state = {
   exp_hit : int array;
   exp_fresh : int array;
   exp_reclaimed : int array;
+  exp_admitted : int array;
+  exp_dropped : int array;
+  exp_evicted : int array;  (* indexed by the *victim's* allocator *)
+  exp_thr : int option array;  (* last admission-check threshold per path *)
 }
 
 let nframes = 2048
 let audit_every = 25
+
+(* Tight enough that thresholds bind under the replay's ordinary pressure
+   (at 2048 free frames: bulk 8 pages, latency 24, control 65), loose
+   enough that single-digit page requests usually admit on a drained
+   pool. *)
+let policy_alpha = 0.004
 
 let make_state ~seed =
   let tb = Testbed.create ~name:"fbufs-check" ~nframes ~seed () in
@@ -86,19 +108,43 @@ let make_state ~seed =
       Ipc.connect tb.Testbed.region ~src:a ~dst:b ~mode:Ipc.Integrated ();
     |]
   in
-  let daemon = Pageout.create tb.Testbed.region () in
+  let pol =
+    Policy.create tb.Testbed.region (Policy.Fb_dynamic { alpha = policy_alpha })
+  in
+  Policy.set_recording pol true;
+  let managed =
+    [| Some Policy.Latency; Some Policy.Bulk; Some Policy.Control; None |]
+  in
+  Array.iteri
+    (fun i k ->
+      match k with None -> () | Some klass -> Policy.register pol allocs.(i) ~klass)
+    managed;
+  (* The daemon sweeps in the policy's order (over-threshold paths first),
+     so [run_balance] can demand the reclaimed set be a prefix of the
+     model's own ordering rather than merely a legal victim set. *)
+  let daemon =
+    Pageout.create tb.Testbed.region ~order:(Policy.pageout_order pol) ()
+  in
   Pageout.register daemon allocs.(0);
   Pageout.register daemon allocs.(1);
-  let spec i cached volatile path =
-    { Model.a_idx = i; a_cached = cached; a_volatile = volatile; a_path = path }
+  let spec i cached volatile path policy =
+    {
+      Model.a_idx = i;
+      a_cached = cached;
+      a_volatile = volatile;
+      a_path = path;
+      a_policy = policy;
+    }
   in
+  (* The model's (rank, weight) tables are written out as literals — they
+     restate, not reference, the policy's own class tables. *)
   let model =
-    Model.create ~page_size:(Testbed.page_size tb)
+    Model.create ~page_size:(Testbed.page_size tb) ~alpha:policy_alpha
       [|
-        spec 0 true true [ a.Pd.id; b.Pd.id; c.Pd.id ];
-        spec 1 true false [ a.Pd.id; b.Pd.id ];
-        spec 2 false true [ a.Pd.id ];
-        spec 3 false false [ b.Pd.id; c.Pd.id ];
+        spec 0 true true [ a.Pd.id; b.Pd.id; c.Pd.id ] (Some (1, 3.0));
+        spec 1 true false [ a.Pd.id; b.Pd.id ] (Some (0, 1.0));
+        spec 2 false true [ a.Pd.id ] (Some (2, 8.0));
+        spec 3 false false [ b.Pd.id; c.Pd.id ] None;
       |]
   in
   {
@@ -109,6 +155,8 @@ let make_state ~seed =
     allocs;
     conns;
     daemon;
+    pol;
+    managed;
     model;
     reals = Hashtbl.create 64;
     ps = Testbed.page_size tb;
@@ -118,6 +166,10 @@ let make_state ~seed =
     exp_hit = Array.make (Array.length allocs) 0;
     exp_fresh = Array.make (Array.length allocs) 0;
     exp_reclaimed = Array.make (Array.length allocs) 0;
+    exp_admitted = Array.make (Array.length allocs) 0;
+    exp_dropped = Array.make (Array.length allocs) 0;
+    exp_evicted = Array.make (Array.length allocs) 0;
+    exp_thr = Array.make (Array.length allocs) None;
   }
 
 (* -- small helpers ----------------------------------------------------- *)
@@ -158,36 +210,41 @@ let state_name = function
 
 let free_frames st = Phys_mem.free_frames st.m.Machine.pmem
 
-(* One daemon sweep with observe-and-validate bookkeeping: the exact
-   victim set across allocators depends on the daemon's round-robin, so
-   instead of predicting it we check that everything that lost residency
-   was a reclaimable parked buffer and that the daemon's count agrees. *)
+(* One daemon sweep, diffed against the model's own victim ordering. The
+   daemon fixes its candidate order at sweep start (here, the dynamic
+   policy's: over-threshold paths first) and reclaims in that order until
+   pressure clears, so the reclaimed set must be exactly a prefix of the
+   order the model computes from the same pre-sweep state — the daemon's
+   TLB drain and scan charge free no frames, so the model's [free] sample
+   taken before the call is the one the sweep ordered by. *)
 let run_balance st =
-  let watched =
-    List.filter
-      (fun f -> f.Model.resident)
-      (Model.parked_of (Model.allocator st.model 0)
-      @ Model.parked_of (Model.allocator st.model 1))
-  in
+  let free0 = free_frames st in
+  let order = Model.balance_order st.model ~allocs:[ 0; 1 ] ~free:free0 in
   let n = Pageout.balance st.daemon in
-  let gone =
-    List.filter
-      (fun mf ->
-        let fb = real st mf in
-        Vm_map.frame_of (Fbuf.originator fb).Pd.map ~vpn:fb.Fbuf.base_vpn = None)
-      watched
-  in
-  if List.length gone <> n then
-    fail
-      "balance: daemon reports %d reclaimed but %d parked buffers lost \
-       residency"
-      n (List.length gone);
-  List.iter
-    (fun mf ->
-      st.exp_reclaimed.(mf.Model.alloc) <- st.exp_reclaimed.(mf.Model.alloc) + 1;
-      sanction st mf;
-      Model.apply_reclaim st.model mf)
-    gone
+  if n > List.length order then
+    fail "balance: daemon reclaimed %d but the model has only %d candidates" n
+      (List.length order);
+  List.iteri
+    (fun i mf ->
+      let fb = real st mf in
+      let resident =
+        Vm_map.frame_of (Fbuf.originator fb).Pd.map ~vpn:fb.Fbuf.base_vpn
+        <> None
+      in
+      if i < n then begin
+        if resident then
+          fail "balance: victim %d of %d (fbuf#%d) kept its frames" i n
+            fb.Fbuf.id;
+        st.exp_reclaimed.(mf.Model.alloc) <-
+          st.exp_reclaimed.(mf.Model.alloc) + 1;
+        sanction st mf;
+        Model.apply_reclaim st.model mf
+      end
+      else if not resident then
+        fail "balance: fbuf#%d lost residency outside the model's %d-victim \
+              prefix"
+          fb.Fbuf.id n)
+    order
 
 let ensure_frames st need =
   if free_frames st < need + 16 then run_balance st;
@@ -213,6 +270,144 @@ let try_checked_read st (mf : Model.fbuf) (dom : Pd.t) =
         (match view with Model.Content -> "content" | Model.Zeros -> "zeros");
     true
   end
+
+(* -- policy decision differential -------------------------------------- *)
+
+(* Re-derive one recorded admission decision from the model. The policy
+   logs a decision as zero or more Evicts followed by exactly one Admit or
+   Drop, each event snapshotting the free-frame level it was decided at;
+   the model recomputes the requester's held pages and threshold and
+   selects its own victim at every step, and the chained [free] snapshots
+   must advance by exactly each victim's page count. [free0] is the level
+   observed immediately before the real allocation call; [dropped] says
+   whether that call raised [Policy.Dropped]. Model state (victim
+   reclaims) is applied as the events are validated, so callers must
+   verify before committing the allocation itself to the model. *)
+let verify_policy st ~alloc:ai ~npages ~growth ~free0 ~dropped =
+  let evs = Policy.drain_events st.pol in
+  match st.managed.(ai) with
+  | None ->
+      if evs <> [] then
+        fail "policy: unmanaged allocator %d produced %d decision events" ai
+          (List.length evs);
+      if dropped then fail "policy: unmanaged allocator %d saw a drop" ai
+  | Some _ ->
+      let my_path = (Allocator.path st.allocs.(ai)).Path.id in
+      let alloc_path i = (Allocator.path st.allocs.(i)).Path.id in
+      let check_free what got want =
+        if got <> want then
+          fail "policy: %s decided at %d free frames, expected %d" what got
+            want
+      in
+      let requester_state free =
+        ( Model.held st.model ~alloc:ai,
+          Model.policy_threshold st.model ~alloc:ai ~free )
+      in
+      let rec go evs free_now =
+        match evs with
+        | [] ->
+            fail "policy: decision on path %d ended without a verdict" my_path
+        | [ Policy.Admit
+              { path; npages = en; growth = eg; held; free; threshold } ] ->
+            if dropped then
+              fail "policy: Dropped surfaced but the final event is an Admit";
+            check_free "admit" free free_now;
+            if path <> my_path then
+              fail "policy: admit recorded path %d, allocation was on %d" path
+                my_path;
+            if en <> npages || eg <> growth then
+              fail
+                "policy: admit recorded %d pages growth %d, allocation was \
+                 %d pages growth %d"
+                en eg npages growth;
+            let mheld, mthr = requester_state free_now in
+            if held <> mheld then
+              fail
+                "policy: admit on path %d recorded %d held pages, model \
+                 holds %d"
+                my_path held mheld;
+            if threshold <> mthr then
+              fail "policy: admit threshold %d, model computes %d" threshold
+                mthr;
+            if not (growth = 0 || mheld + growth <= mthr) then
+              fail
+                "policy: path %d admitted %d new pages at %d held over \
+                 threshold %d (the admission check was skipped)"
+                my_path growth mheld mthr;
+            st.exp_admitted.(ai) <- st.exp_admitted.(ai) + 1;
+            st.exp_thr.(ai) <- Some threshold
+        | [ Policy.Drop { path; npages = en; held; free; threshold } ] ->
+            if not dropped then
+              fail
+                "policy: a Drop was recorded but no Dropped exception \
+                 surfaced";
+            check_free "drop" free free_now;
+            if path <> my_path then
+              fail "policy: drop recorded path %d, allocation was on %d" path
+                my_path;
+            if en <> npages then
+              fail "policy: drop recorded %d pages, allocation asked %d" en
+                npages;
+            let mheld, mthr = requester_state free_now in
+            if held <> mheld then
+              fail
+                "policy: drop on path %d recorded %d held pages, model \
+                 holds %d"
+                my_path held mheld;
+            if threshold <> mthr then
+              fail "policy: drop threshold %d, model computes %d" threshold
+                mthr;
+            if growth = 0 || mheld + growth <= mthr then
+              fail
+                "policy: path %d dropped %d new pages at %d held under \
+                 threshold %d"
+                my_path growth mheld mthr;
+            (match Model.next_victim st.model ~requester:ai ~free:free_now with
+            | Some mf ->
+                fail
+                  "policy: path %d dropped while the model still finds \
+                   victim fbuf#%d"
+                  my_path mf.Model.real_id
+            | None -> ());
+            st.exp_dropped.(ai) <- st.exp_dropped.(ai) + 1;
+            st.exp_thr.(ai) <- Some threshold
+        | Policy.Evict { victim_path; fbuf = vid; npages = vn; free } :: rest
+          ->
+            check_free "evict" free free_now;
+            let mheld, mthr = requester_state free_now in
+            if growth = 0 || mheld + growth <= mthr then
+              fail
+                "policy: eviction on behalf of path %d while it is under \
+                 threshold (%d held + %d <= %d)"
+                my_path mheld growth mthr;
+            (match Model.next_victim st.model ~requester:ai ~free:free_now with
+            | None ->
+                fail
+                  "policy: evicted fbuf#%d but the model finds no eligible \
+                   victim"
+                  vid
+            | Some mf ->
+                if
+                  mf.Model.real_id <> vid
+                  || alloc_path mf.Model.alloc <> victim_path
+                  || mf.Model.npages <> vn
+                then
+                  fail
+                    "policy: evicted fbuf#%d (path %d, %d pages) but the \
+                     model selects fbuf#%d (path %d, %d pages)"
+                    vid victim_path vn mf.Model.real_id
+                    (alloc_path mf.Model.alloc) mf.Model.npages;
+                st.exp_reclaimed.(mf.Model.alloc) <-
+                  st.exp_reclaimed.(mf.Model.alloc) + 1;
+                st.exp_evicted.(mf.Model.alloc) <-
+                  st.exp_evicted.(mf.Model.alloc) + 1;
+                sanction st mf;
+                Model.apply_reclaim st.model mf;
+                go rest (free_now + vn))
+        | (Policy.Admit _ | Policy.Drop _) :: _ :: _ ->
+            fail "policy: a verdict event arrived before the decision's end"
+      in
+      go evs free0
 
 (* -- per-step observable diff ------------------------------------------ *)
 
@@ -393,27 +588,43 @@ let pattern st (mf : Model.fbuf) =
   let k = (st.step * 131) + (mf.Model.key * 17) + 1 in
   Bytes.init len (fun i -> Char.chr ((k + i) land 0xff))
 
-let do_alloc st ~alloc ~npages =
-  let ai = alloc mod Array.length st.allocs in
-  let n = 1 + (npages mod 4) in
+(* One fully checked allocation of [n] pages from allocator [ai]: the
+   model predicts reuse-vs-fresh before the call, the policy decision is
+   re-derived from its event log after it ([verify_policy] runs before the
+   model commits, so the held/threshold snapshots are diffed against
+   pre-allocation state), and a policy Drop counts as an executed step —
+   the refusal, with its possible reclaim-before-drop evictions, is the
+   behavior under test. *)
+let checked_alloc st ~ai ~n =
   let ra = st.allocs.(ai) in
   match Model.predict_alloc st.model ~alloc:ai ~npages:n with
-  | Some top ->
-      let fb = Allocator.alloc ra ~npages:n in
-      st.exp_hit.(ai) <- st.exp_hit.(ai) + 1;
-      if fb.Fbuf.id <> top.Model.real_id then
-        fail "alloc %d: cache reuse order: got fbuf#%d, model expected #%d" ai
-          fb.Fbuf.id top.Model.real_id;
-      Model.commit_hit st.model top ~now:fb.Fbuf.last_alloc_us;
-      (* Reused contents must be exactly what was parked — or zeros after
-         a pageout. A stale-mapping or stale-content bug surfaces here. *)
-      ignore (try_checked_read st top (Fbuf.originator fb));
-      true
+  | Some top -> (
+      let growth = if top.Model.charged then 0 else n in
+      let free0 = free_frames st in
+      match Allocator.alloc ra ~npages:n with
+      | fb ->
+          verify_policy st ~alloc:ai ~npages:n ~growth ~free0 ~dropped:false;
+          st.exp_hit.(ai) <- st.exp_hit.(ai) + 1;
+          if fb.Fbuf.id <> top.Model.real_id then
+            fail "alloc %d: cache reuse order: got fbuf#%d, model expected #%d"
+              ai fb.Fbuf.id top.Model.real_id;
+          Model.commit_hit st.model top ~now:fb.Fbuf.last_alloc_us;
+          (* Reused contents must be exactly what was parked — or zeros
+             after a pageout. A stale-mapping or stale-content bug surfaces
+             here. *)
+          ignore (try_checked_read st top (Fbuf.originator fb));
+          true
+      | exception Policy.Dropped _ ->
+          verify_policy st ~alloc:ai ~npages:n ~growth ~free0 ~dropped:true;
+          true)
   | None -> (
       if not (ensure_frames st n) then false
       else
+        let free0 = free_frames st in
         match Allocator.alloc ra ~npages:n with
         | fb ->
+            verify_policy st ~alloc:ai ~npages:n ~growth:n ~free0
+              ~dropped:false;
             let orig = Fbuf.originator fb in
             (* Fresh frames are not cleared (the paper's Table 1 excludes
                zeroing); whatever is there now is the baseline content. *)
@@ -428,11 +639,24 @@ let do_alloc st ~alloc ~npages =
             st.exp_fresh.(ai) <- st.exp_fresh.(ai) + 1;
             Hashtbl.replace st.reals mf.Model.key fb;
             true
+        | exception Policy.Dropped _ ->
+            verify_policy st ~alloc:ai ~npages:n ~growth:n ~free0
+              ~dropped:true;
+            true
         | exception (Region.Chunk_limit_exceeded _ | Region.Region_exhausted)
           ->
-            (* A legal refusal under quota pressure; counters must be
-               untouched, which the post-step diff verifies. *)
+            (* A legal refusal under quota pressure. The admission hook ran
+               (and admitted) before the region refused, so its events
+               still verify; the allocator counters must be untouched,
+               which the post-step diff verifies. *)
+            verify_policy st ~alloc:ai ~npages:n ~growth:n ~free0
+              ~dropped:false;
             false)
+
+let do_alloc st ~alloc ~npages =
+  let ai = alloc mod Array.length st.allocs in
+  let n = 1 + (npages mod 4) in
+  checked_alloc st ~ai ~n
 
 let do_ipc st ~conn ~fbuf ~len =
   let ci = conn mod Array.length st.conns in
@@ -491,10 +715,16 @@ let do_bad_dag st ~kind =
   if not (ensure_frames st 2) then false
   else
     let a = st.doms.(0) and b = st.doms.(1) in
+    let free0 = free_frames st in
     match Allocator.alloc st.allocs.(2) ~npages:1 with
     | exception (Region.Chunk_limit_exceeded _ | Region.Region_exhausted) ->
+        verify_policy st ~alloc:2 ~npages:1 ~growth:1 ~free0 ~dropped:false;
+        false
+    | exception Policy.Dropped _ ->
+        verify_policy st ~alloc:2 ~npages:1 ~growth:1 ~free0 ~dropped:true;
         false
     | fb -> (
+        verify_policy st ~alloc:2 ~npages:1 ~growth:1 ~free0 ~dropped:false;
         let contents =
           Access.read_bytes a ~vaddr:(Fbuf.vaddr fb) ~len:(Fbuf.size fb)
         in
@@ -790,10 +1020,25 @@ let exec st (op : Op.t) =
   | Op.Bad_dag { kind } -> do_bad_dag st ~kind
   | Op.Exhaust { alloc } -> (
       let ai = alloc mod Array.length st.allocs in
+      let free0 = free_frames st in
       match Allocator.alloc st.allocs.(ai) ~npages:2048 with
       | _ -> fail "exhaust: oversized allocation was granted"
-      | exception Region.Chunk_limit_exceeded _ -> true
-      | exception Region.Region_exhausted -> true)
+      | exception Policy.Dropped _ ->
+          (* On a managed path the admission policy refuses first — after
+             evicting every eligible lower-class victim, since a 2048-page
+             request can never fit under a threshold; each eviction and
+             the final Drop verdict are model-checked. *)
+          verify_policy st ~alloc:ai ~npages:2048 ~growth:2048 ~free0
+            ~dropped:true;
+          true
+      | exception Region.Chunk_limit_exceeded _ ->
+          verify_policy st ~alloc:ai ~npages:2048 ~growth:2048 ~free0
+            ~dropped:false;
+          true
+      | exception Region.Region_exhausted ->
+          verify_policy st ~alloc:ai ~npages:2048 ~growth:2048 ~free0
+            ~dropped:false;
+          true)
   | Op.Tlb_stale { fbuf; write } -> (
       (* The deferral window, attacked head-on: load the buffer's
          translations into the TLB, free it (the uncached teardown defers
@@ -847,6 +1092,43 @@ let exec st (op : Op.t) =
                 (first_diff got (Bytes.make (Fbuf.size fb) '\000'))
           end;
           true)
+  | Op.Policy_relief { alloc } ->
+      (* Clear contention everywhere — page out every parked buffer, so
+         every path's held account falls to its Active pages while the
+         free pool (and with it every threshold) grows — then allocate one
+         page on a managed path. A starved path making progress once
+         contention clears is exactly the model agreeing the verdict must
+         now be Admit; a lingering refusal the model does not re-derive
+         fails the replay. *)
+      Array.iteri
+        (fun i ra ->
+          let victims =
+            Model.reclaim_victims st.model ~alloc:i ~max_fbufs:nframes
+          in
+          let n = Allocator.reclaim ra ~max_fbufs:nframes () in
+          if n <> List.length victims then
+            fail "policy_relief: allocator %d reclaimed %d, model predicted %d"
+              i n (List.length victims);
+          List.iter
+            (fun mf ->
+              st.exp_reclaimed.(i) <- st.exp_reclaimed.(i) + 1;
+              sanction st mf;
+              Model.apply_reclaim st.model mf)
+            victims)
+        st.allocs;
+      checked_alloc st ~ai:(alloc mod 3) ~n:1
+  | Op.Drop_probe { alloc; npages } ->
+      (* An oversized request on a low-class path: the likeliest way to
+         draw a Drop verdict under ordinary pressure. Whatever the verdict,
+         it is event-verified by [checked_alloc]; when it was a drop, the
+         full structural audit runs immediately — a refused allocation
+         must leave no trace in refcounts, free lists, or extents. *)
+      let ai = alloc mod 2 in
+      let n = 5 + (npages mod 4) in
+      let drops0 = st.exp_dropped.(ai) in
+      let ran = checked_alloc st ~ai ~n in
+      if st.exp_dropped.(ai) > drops0 then run_audit st;
+      ran
 
 (* -- metrics differential ----------------------------------------------- *)
 
@@ -896,6 +1178,39 @@ let verify_metrics st =
             (count "fbufs_live_fbufs" [ mach; path ])
             (Model.live_count ma))
         st.allocs;
+      (* Policy decision counters against the event-derived expectations,
+         and the held/threshold gauges against the model's own account. *)
+      Array.iteri
+        (fun i k ->
+          match k with
+          | None -> ()
+          | Some klass ->
+              let path = string_of_int (Allocator.path st.allocs.(i)).Path.id in
+              let check what got want =
+                if got <> want then
+                  fail "metrics: allocator %d: %s is %d, expected %d" i what
+                    got want
+              in
+              let l3 = [ mach; path; Policy.klass_label klass ] in
+              check "fbufs_policy_admitted_total"
+                (count "fbufs_policy_admitted_total" l3)
+                st.exp_admitted.(i);
+              check "fbufs_policy_dropped_total"
+                (count "fbufs_policy_dropped_total" l3)
+                st.exp_dropped.(i);
+              check "fbufs_policy_evictions_total"
+                (count "fbufs_policy_evictions_total" l3)
+                st.exp_evicted.(i);
+              check "fbufs_policy_held_pages"
+                (count "fbufs_policy_held_pages" [ mach; path ])
+                (Model.held st.model ~alloc:i);
+              match st.exp_thr.(i) with
+              | None -> ()
+              | Some thr ->
+                  check "fbufs_policy_threshold_pages"
+                    (count "fbufs_policy_threshold_pages" [ mach; path ])
+                    thr)
+        st.managed;
       let charged = Ledger.charged_us (Mx.ledger mx) ~machine:mach in
       let busy = Machine.busy_us st.m in
       if charged <> busy then
@@ -922,6 +1237,8 @@ let op_label (op : Op.t) =
   | Op.Bad_dag _ -> "bad_dag"
   | Op.Exhaust _ -> "exhaust"
   | Op.Tlb_stale _ -> "tlb_stale"
+  | Op.Policy_relief _ -> "policy_relief"
+  | Op.Drop_probe _ -> "drop_probe"
 
 (* Every replay records spans (one transfer per executed op), so the span
    sink's own invariants run under the checker's adversarial streams:

@@ -42,6 +42,10 @@ type fbuf = {
   mutable stale_zero : int list;
   mutable expected : bytes;  (* contents every live-byte reader must see *)
   mutable resident : bool;  (* originator frames present *)
+  mutable charged : bool;
+      (* mirror of Fbuf.accounted: counted in the path's held account.
+         Set on (re)allocation, cleared on park-without-frames, pageout
+         and death — never by the faults that can restore [resident] *)
   mutable last_alloc_us : float;
 }
 
@@ -50,6 +54,8 @@ type alloc_spec = {
   a_cached : bool;
   a_volatile : bool;
   a_path : int list;  (* originator first *)
+  a_policy : (int * float) option;
+      (* buffer-sharing (rank, weight) when the path is policy-managed *)
 }
 
 type allocator = {
@@ -61,6 +67,7 @@ type allocator = {
 
 type t = {
   page_size : int;
+  alpha : float;  (* buffer-sharing threshold scale, see the policy mirror *)
   allocs : allocator array;
   mutable rev_fbufs : fbuf list;
   mutable next_key : int;
@@ -69,9 +76,10 @@ type t = {
   mutable gens : (int * int) list;  (* dom -> expected generation *)
 }
 
-let create ~page_size specs =
+let create ~page_size ?(alpha = 0.0) specs =
   {
     page_size;
+    alpha;
     allocs =
       Array.map
         (fun spec -> { spec; classes = []; parked_len = 0; live = 0 })
@@ -142,6 +150,7 @@ let commit_hit t fb ~now =
   | _ -> invalid_arg "Model.commit_hit: not the predicted buffer");
   fb.phase <- Active;
   fb.refs <- [ (List.hd a.spec.a_path, 1) ];
+  fb.charged <- true;
   fb.last_alloc_us <- now;
   a.live <- a.live + 1;
   ignore t
@@ -166,6 +175,7 @@ let commit_fresh t ~alloc ~npages ~real_id ~contents ~now =
       stale_zero = [];
       expected = contents;
       resident = true;
+      charged = true;
       last_alloc_us = now;
     }
   in
@@ -237,8 +247,10 @@ let free_check fb ~dom =
 
 let apply_free t fb ~dom =
   drop_ref fb dom;
-  if (not fb.cached) && dom <> fb.originator then begin
-    (* Uncached receivers lose their mappings on free. *)
+  if (not fb.cached) && dom <> fb.originator && ref_count fb dom = 0 then begin
+    (* Uncached receivers lose their mappings with their last reference
+       (an earlier free with references outstanding keeps the mapping, as
+       the subject does). *)
     fb.mapped_in <- remove fb.mapped_in dom;
     fb.materialized <- remove fb.materialized dom;
     fb.stale_zero <- remove fb.stale_zero dom
@@ -249,6 +261,7 @@ let apply_free t fb ~dom =
     if fb.cached then begin
       fb.phase <- Parked;
       fb.secured <- false;
+      if not fb.resident then fb.charged <- false;
       push_parked a fb
     end
     else begin
@@ -257,6 +270,7 @@ let apply_free t fb ~dom =
       fb.materialized <- [];
       fb.stale_zero <- [];
       fb.resident <- false;
+      fb.charged <- false;
       fb.expected <- Bytes.make (size_bytes t fb) '\000'
     end
   end
@@ -278,6 +292,91 @@ let reclaim_victims t ~alloc ~max_fbufs =
       resident
   in
   List.filteri (fun i _ -> i < max 0 max_fbufs) by_age
+
+(* -- buffer-sharing policy mirror ------------------------------------- *)
+
+(* The model's restatement of Fbufs_policy. The real policy maintains a
+   path's held-page account event-wise, through allocator grow/shrink
+   hooks; the model recomputes it from per-buffer state every time it is
+   asked — the pages of the path's Active fbufs plus its parked fbufs
+   still carrying their charge bit. The two agreeing after every step is
+   what makes the policy checking differential: an accounting leak on
+   either side (a missed hook, a double shrink) shows up as a held-page
+   divergence at the next admission decision. Thresholds use the same
+   arithmetic shape as the subject ([weight *. alpha *. free], truncated)
+   so agreement is exact, not within-epsilon. *)
+
+let held t ~alloc =
+  List.fold_left
+    (fun acc fb ->
+      if
+        fb.alloc = alloc
+        && (fb.phase = Active || (fb.phase = Parked && fb.charged))
+      then acc + fb.npages
+      else acc)
+    0 (all t)
+
+let policy_threshold t ~alloc ~free =
+  match t.allocs.(alloc).spec.a_policy with
+  | None -> max_int
+  | Some (_, w) -> int_of_float (w *. t.alpha *. float_of_int free)
+
+let over_threshold t ~alloc ~free =
+  held t ~alloc > policy_threshold t ~alloc ~free
+
+(* Reclaim-before-drop victim selection: the coldest parked still-resident
+   buffer of a strictly-lower-rank path that is over its own threshold at
+   the given free level — lowest rank first, then least recently
+   allocated, then fbuf id (total, ids are unique). *)
+let next_victim t ~requester ~free =
+  match t.allocs.(requester).spec.a_policy with
+  | None -> None
+  | Some (rrank, _) ->
+      let eligible fb =
+        fb.phase = Parked && fb.resident
+        &&
+        match t.allocs.(fb.alloc).spec.a_policy with
+        | None -> false
+        | Some (vrank, _) -> vrank < rrank && over_threshold t ~alloc:fb.alloc ~free
+      in
+      let key fb =
+        let r =
+          match t.allocs.(fb.alloc).spec.a_policy with
+          | Some (r, _) -> r
+          | None -> max_int
+        in
+        (r, fb.last_alloc_us, fb.real_id)
+      in
+      List.fold_left
+        (fun best fb ->
+          if not (eligible fb) then best
+          else
+            match best with
+            | Some b when key b < key fb -> best
+            | _ -> Some fb)
+        None (all t)
+
+(* The order a policy-driven pageout sweep must reclaim in: every parked
+   still-resident buffer of the daemon's registered allocators, buffers of
+   over-threshold paths first (judged once, at the sweep-start free
+   level), then rank, then LRU, then id. The daemon reclaims a prefix of
+   this list. *)
+let balance_order t ~allocs ~free =
+  let cands =
+    List.filter
+      (fun fb -> List.mem fb.alloc allocs && fb.phase = Parked && fb.resident)
+      (all t)
+  in
+  let key fb =
+    match t.allocs.(fb.alloc).spec.a_policy with
+    | None -> (1, max_int, fb.last_alloc_us, fb.real_id)
+    | Some (r, _) ->
+        ( (if over_threshold t ~alloc:fb.alloc ~free then 0 else 1),
+          r,
+          fb.last_alloc_us,
+          fb.real_id )
+  in
+  List.sort (fun a b -> compare (key a) (key b)) cands
 
 (* -- TLB shootdown windows and generations ---------------------------- *)
 
@@ -309,6 +408,7 @@ let note_asid_flush t ~dom =
 
 let apply_reclaim t fb =
   fb.resident <- false;
+  fb.charged <- false;
   fb.expected <- Bytes.make (size_bytes t fb) '\000';
   (* reclaim_memory unmaps (and forgets) the granted receivers; dead-page
      mappings held by domains that were never granted survive it. *)

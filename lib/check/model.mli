@@ -31,6 +31,11 @@ type fbuf = {
           until those mappings are cleared *)
   mutable expected : bytes;
   mutable resident : bool;
+  mutable charged : bool;
+      (** mirror of [Fbuf.accounted]: the buffer's pages count toward its
+          path's held account. Set on (re)allocation, cleared on parking
+          without frames, pageout, and death — never by the page faults
+          that can restore [resident] behind the allocator's back *)
   mutable last_alloc_us : float;
 }
 
@@ -39,13 +44,22 @@ type alloc_spec = {
   a_cached : bool;
   a_volatile : bool;
   a_path : int list;  (** Pd ids, originator first *)
+  a_policy : (int * float) option;
+      (** buffer-sharing [(rank, weight)] when the path is policy-managed:
+          rank is the reclaim priority (lower is evicted first), weight
+          scales the dynamic threshold — restated here independently of
+          [Fbufs_policy]'s own tables *)
 }
 
 type allocator
 
 type t
 
-val create : page_size:int -> alloc_spec array -> t
+val create : page_size:int -> ?alpha:float -> alloc_spec array -> t
+(** [alpha] is the buffer-sharing threshold scale (the policy mirror's
+    allowance is [weight * alpha * free] pages); irrelevant (default [0.])
+    when no spec carries [a_policy]. *)
+
 val all : t -> fbuf list
 (** Every buffer ever allocated (including dead ones), creation order. *)
 
@@ -97,6 +111,37 @@ val reclaim_victims : t -> alloc:int -> max_fbufs:int -> fbuf list
 (** The exact buffers [Allocator.reclaim] must page out, LRU order. *)
 
 val apply_reclaim : t -> fbuf -> unit
+
+(** {2 Buffer-sharing policy mirror}
+
+    The model's restatement of [Fbufs_policy]: the held-page account is
+    recomputed from per-buffer state (Active fbufs plus parked
+    still-charged ones) where the subject maintains a single integer
+    event-wise through allocator hooks, and the threshold/victim
+    arithmetic is written out again here — the driver diffs every
+    admission decision the real policy records against these functions. *)
+
+val held : t -> alloc:int -> int
+(** Pages the path currently holds: its Active fbufs plus its parked
+    fbufs still carrying their charge ([charged]). *)
+
+val policy_threshold : t -> alloc:int -> free:int -> int
+(** The path's held-page allowance at the given free-frame level;
+    [max_int] for unmanaged paths. *)
+
+val over_threshold : t -> alloc:int -> free:int -> bool
+
+val next_victim : t -> requester:int -> free:int -> fbuf option
+(** The buffer a reclaim-before-drop eviction on behalf of [requester]
+    must target: the coldest parked still-resident buffer of a
+    strictly-lower-rank path over its own threshold at [free] — lowest
+    rank, then LRU, then fbuf id. [None] when the allocation must drop. *)
+
+val balance_order : t -> allocs:int list -> free:int -> fbuf list
+(** The order a policy-driven pageout sweep over the daemon's registered
+    allocators must reclaim in (over-threshold paths first at the
+    sweep-start [free], then rank, LRU, id); the daemon's reclaimed set
+    must be a prefix of this list. *)
 
 (** {2 TLB discipline mirror}
 

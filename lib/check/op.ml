@@ -27,6 +27,8 @@ type t =
   | Bad_dag of { kind : int }
   | Exhaust of { alloc : int }
   | Tlb_stale of { fbuf : int; write : bool }
+  | Policy_relief of { alloc : int }
+  | Drop_probe of { alloc : int; npages : int }
 
 (* Printed as valid OCaml so a failing sequence can be pasted back into a
    test as a [Fbufs_check.Op.t list] literal. *)
@@ -56,6 +58,9 @@ let pp ppf op =
   | Exhaust { alloc } -> Fmt.pf ppf "Exhaust { alloc = %d }" alloc
   | Tlb_stale { fbuf; write } ->
       Fmt.pf ppf "Tlb_stale { fbuf = %d; write = %b }" fbuf write
+  | Policy_relief { alloc } -> Fmt.pf ppf "Policy_relief { alloc = %d }" alloc
+  | Drop_probe { alloc; npages } ->
+      Fmt.pf ppf "Drop_probe { alloc = %d; npages = %d }" alloc npages
 
 let pp_list ppf ops =
   Fmt.pf ppf "@[<v 2>[@,%a@]@,]"
@@ -78,7 +83,7 @@ let gen rng ~adversary =
   in
   if not adversary then normal (r 100)
   else
-    let pick = r 134 in
+    let pick = r 142 in
     if pick < 100 then normal pick
     else if pick < 107 then Read_unref { fbuf = idx (); dom = idx () }
     else if pick < 114 then Write_foreign { fbuf = idx (); dom = idx () }
@@ -86,7 +91,9 @@ let gen rng ~adversary =
     else if pick < 124 then Crash { fbuf = idx () }
     else if pick < 128 then Bad_dag { kind = idx () }
     else if pick < 130 then Exhaust { alloc = idx () }
-    else Tlb_stale { fbuf = idx (); write = r 2 = 1 }
+    else if pick < 134 then Tlb_stale { fbuf = idx (); write = r 2 = 1 }
+    else if pick < 137 then Policy_relief { alloc = idx () }
+    else Drop_probe { alloc = idx (); npages = idx () }
 
 let gen_list rng ~adversary ~n =
   List.init n (fun _ -> gen rng ~adversary)

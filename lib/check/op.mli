@@ -36,13 +36,25 @@ type t =
       (** Adversary: deserialize a malformed integrated DAG (out-of-region
           root, region-boundary node, garbage tag, cycle, bad data ref). *)
   | Exhaust of { alloc : int }
-      (** Adversary: an allocation too large for the chunk quota must be
-          refused with no state change. *)
+      (** Adversary: an allocation far beyond both the chunk quota and any
+          sharing-policy threshold must be refused — by the admission
+          policy ([Dropped], possibly after reclaim-before-drop evictions)
+          on managed paths, by the region's quota otherwise. *)
   | Tlb_stale of { fbuf : int; write : bool }
       (** Adversary: free an active uncached buffer (its unmap defers the
           TLB shootdowns) and touch its old addresses in the very same
           step, before any barrier can drain the queue — the stale
           translation must still fault. *)
+  | Policy_relief of { alloc : int }
+      (** Adversary: page out every parked buffer everywhere (contention
+          clears, thresholds grow back), then allocate one page on a
+          managed path — a starved path must make progress exactly when
+          the model's own admission arithmetic says it must. *)
+  | Drop_probe of { alloc : int; npages : int }
+      (** Adversary: an oversized (5–8 page) request on a low-class path,
+          the likeliest way to draw a Drop verdict; a drop is followed
+          immediately by the full structural audit, which must find the
+          refused allocation left no trace. *)
 
 val pp : Format.formatter -> t -> unit
 (** Prints valid OCaml constructor syntax. *)

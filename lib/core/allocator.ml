@@ -5,6 +5,24 @@ module Comp = Fbufs_metrics.Component
 
 type policy = Lifo | Fifo
 
+(* Buffer-sharing hooks (see Fbufs_policy). The allocator stays ignorant
+   of policy semantics: it reports page-pool growth/shrink events and, for
+   dynamic policies, asks permission before any allocation that would grow
+   this path's held-page footprint. "Held" pages are those the allocator
+   has charged to the path: every Active fbuf, plus parked fbufs still
+   carrying their charge (fb.accounted) — a buffer loses its charge when
+   it parks without physical memory, is paged out, or dies, and is charged
+   again at its next allocation. The charge bit, not instantaneous
+   residency, drives grow/shrink: residency can change under the
+   allocator's feet (a touch of a paged-out parked buffer faults frames
+   back in), and deciding from it would leak or double-count. *)
+type share = {
+  sh_dynamic : bool;
+  sh_admit : npages:int -> growth:int -> unit;
+  sh_grow : int -> unit;
+  sh_shrink : int -> unit;
+}
+
 (* One size class of parked cached fbufs, as a two-list queue: Lifo pushes
    and pops at [front]; Fifo pushes to [back] and pops from [front],
    reversing [back] only when [front] runs dry — O(1) amortized either
@@ -23,7 +41,22 @@ type t = {
   mutable chunks : (int * int) list; (* owned (base_vpn, nchunks) *)
   mutable live : int;
   mutable torn_down : bool;
+  mutable share : share option;
 }
+
+let set_share t sh = t.share <- sh
+
+let grow_hook t n =
+  match t.share with None -> () | Some sh -> sh.sh_grow n
+
+let shrink_hook t n =
+  match t.share with None -> () | Some sh -> sh.sh_shrink n
+
+let has_resident_memory (fb : Fbuf.t) =
+  Vm_map.frame_of (Fbuf.originator fb).Pd.map ~vpn:fb.Fbuf.base_vpn <> None
+
+let buffer_resident = has_resident_memory
+let buffer_accounted (fb : Fbuf.t) = fb.Fbuf.accounted
 
 let path t = t.path
 let variant t = t.variant
@@ -140,16 +173,26 @@ let on_all_freed t (fb : Fbuf.t) =
   match fb.Fbuf.state with
   | Fbuf.Cached_free ->
       if t.torn_down then begin
+        shrink_hook t fb.Fbuf.npages;
+        fb.Fbuf.accounted <- false;
         Transfer.destroy_cached fb;
         Region.unregister_fbuf t.region fb;
         t.live <- t.live - 1;
         if t.live = 0 then release_chunks t
       end
       else begin
+        (* A parked buffer only keeps its held-page charge while it also
+           keeps its frames; an Active buffer is always charged. *)
+        if not (has_resident_memory fb) then begin
+          shrink_hook t fb.Fbuf.npages;
+          fb.Fbuf.accounted <- false
+        end;
         push_parked t fb;
         t.live <- t.live - 1
       end
   | Fbuf.Dead ->
+      shrink_hook t fb.Fbuf.npages;
+      fb.Fbuf.accounted <- false;
       Region.unregister_fbuf t.region fb;
       add_extent t (fb.Fbuf.base_vpn, fb.Fbuf.npages);
       t.live <- t.live - 1;
@@ -173,6 +216,7 @@ let create region ~path ~variant ?(policy = Lifo) () =
     chunks = [];
     live = 0;
     torn_down = false;
+    share = None;
   }
 
 let default region ~owner =
@@ -229,6 +273,21 @@ let pop_cached t ~npages =
               c.back <- [];
               took fb))
 
+(* The buffer pop_cached would return, without popping it: front head, or
+   the oldest of [back] when the front is dry. Only consulted on the
+   admission path of a dynamic sharing policy, so the O(|back|) walk never
+   taxes unmanaged allocators. *)
+let peek_cached t ~npages =
+  match Hashtbl.find t.free_classes npages with
+  | exception Not_found -> None
+  | c -> (
+      match c.front with
+      | fb :: _ -> Some fb
+      | [] -> (
+          match c.back with
+          | [] -> None
+          | l -> Some (List.nth l (List.length l - 1))))
+
 let fresh_fbuf t ~npages =
   let m = Region.machine t.region in
   let base_vpn = take_address_range t ~npages in
@@ -258,17 +317,45 @@ let alloc t ~npages =
   if t.torn_down then invalid_arg "Allocator.alloc: allocator was torn down";
   if npages <= 0 then invalid_arg "Allocator.alloc: npages must be positive";
   let m = Region.machine t.region in
+  (* Admission control: a dynamic buffer-sharing policy may veto the
+     allocation before any state changes (the hook raises to refuse).
+     Growth is the number of pages this allocation would add to the
+     path's held-page account: zero only when a still-charged cached
+     buffer would be reused. *)
+  (match t.share with
+  | None -> ()
+  | Some sh ->
+      if sh.sh_dynamic then
+        let growth =
+          if t.variant.Fbuf.cached then
+            match peek_cached t ~npages with
+            | Some fb when fb.Fbuf.accounted -> 0
+            | Some _ | None -> npages
+          else npages
+        in
+        sh.sh_admit ~npages ~growth);
   let fb, cache_hit =
     if t.variant.Fbuf.cached then
       match pop_cached t ~npages with
       | Some fb ->
           (* The fast path: mappings, frames and contents are all reusable;
              no VM work and no clearing. *)
+          if not fb.Fbuf.accounted then grow_hook t npages;
+          fb.Fbuf.accounted <- true;
           fb.Fbuf.state <- Fbuf.Active;
           Stats.incr m.Machine.stats "fbuf.alloc_cached_hit";
           (fb, true)
-      | None -> (fresh_fbuf t ~npages, false)
-    else (fresh_fbuf t ~npages, false)
+      | None ->
+          let fb = fresh_fbuf t ~npages in
+          grow_hook t npages;
+          fb.Fbuf.accounted <- true;
+          (fb, false)
+    else begin
+      let fb = fresh_fbuf t ~npages in
+      grow_hook t npages;
+      fb.Fbuf.accounted <- true;
+      (fb, false)
+    end
   in
   if Machine.tracing m then begin
     let open Fbufs_trace.Trace in
@@ -299,9 +386,6 @@ let alloc t ~npages =
   sync_gauges t;
   fb
 
-let has_resident_memory (fb : Fbuf.t) =
-  Vm_map.frame_of (Fbuf.originator fb).Pd.map ~vpn:fb.Fbuf.base_vpn <> None
-
 let reclaim t ?(older_than_us = 0.0) ~max_fbufs () =
   (* LRU approximation: victims are the least recently *used* parked
      buffers that still hold physical memory and have been idle past the
@@ -327,7 +411,17 @@ let reclaim t ?(older_than_us = 0.0) ~max_fbufs () =
   in
   let take = min (max 0 max_fbufs) (List.length by_age) in
   let victims = List.filteri (fun i _ -> i < take) by_age in
-  List.iter Transfer.reclaim_memory victims;
+  List.iter
+    (fun (v : Fbuf.t) ->
+      Transfer.reclaim_memory v;
+      (* A victim that was re-materialized by a stray touch after an
+         earlier pageout carries no charge; only charged pages leave the
+         held account. *)
+      if v.Fbuf.accounted then begin
+        shrink_hook t v.Fbuf.npages;
+        v.Fbuf.accounted <- false
+      end)
+    victims;
   let m = Region.machine t.region in
   (match Machine.metrics m with
   | None -> ()
@@ -341,6 +435,38 @@ let reclaim t ?(older_than_us = 0.0) ~max_fbufs () =
       "fbuf.reclaim";
   take
 
+(* Targeted reclaim of one specific parked buffer, used by the pageout
+   daemon's deterministic sweep order and by a dynamic sharing policy's
+   reclaim-before-drop eviction. Same externally visible effect per victim
+   as one step of [reclaim]. *)
+let reclaim_one t (fb : Fbuf.t) =
+  if fb.Fbuf.state <> Fbuf.Cached_free then
+    invalid_arg "Allocator.reclaim_one: fbuf is not parked";
+  if not (List.memq fb (parked_fbufs t)) then
+    invalid_arg "Allocator.reclaim_one: fbuf is not parked on this allocator";
+  if not (has_resident_memory fb) then
+    invalid_arg "Allocator.reclaim_one: fbuf holds no physical memory";
+  Transfer.reclaim_memory fb;
+  if fb.Fbuf.accounted then begin
+    shrink_hook t fb.Fbuf.npages;
+    fb.Fbuf.accounted <- false
+  end;
+  let m = Region.machine t.region in
+  (match Machine.metrics m with
+  | None -> ()
+  | Some mx -> Mx.add mx reclaimed_total ~labels:(path_labels t m) 1.0);
+  if Machine.tracing m then
+    Machine.trace_instant m ~domain:t.owner.Pd.name ~path_id:t.path.Path.id
+      ~args:[ ("fbufs", Fbufs_trace.Trace.Int 1) ]
+      "fbuf.reclaim"
+
+let needs_frames t ~npages =
+  if not t.variant.Fbuf.cached then true
+  else
+    match peek_cached t ~npages with
+    | Some fb -> not (has_resident_memory fb)
+    | None -> true
+
 (* Read-only introspection for the Fbufs_check invariant auditor. *)
 let parked = parked_fbufs
 let free_extents t = t.extents
@@ -352,6 +478,10 @@ let teardown t =
   t.torn_down <- true;
   List.iter
     (fun fb ->
+      if fb.Fbuf.accounted then begin
+        shrink_hook t fb.Fbuf.npages;
+        fb.Fbuf.accounted <- false
+      end;
       Transfer.destroy_cached fb;
       Region.unregister_fbuf t.region fb)
     (parked_fbufs t);

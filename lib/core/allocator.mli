@@ -15,6 +15,35 @@ type t
 
 type policy = Lifo | Fifo
 
+type share = {
+  sh_dynamic : bool;
+      (** when true, {!alloc} consults [sh_admit] before any state change;
+          accounting-only (static) policies set it false and pay nothing on
+          the admission path *)
+  sh_admit : npages:int -> growth:int -> unit;
+      (** admission decision for an allocation of [npages] pages whose
+          effect on the path's held-page account would be [growth] pages
+          (zero when a still-charged cached buffer would be reused).
+          Return normally to admit; raise to refuse — the exception
+          propagates out of {!alloc} with no allocator state changed. *)
+  sh_grow : int -> unit;
+      (** the path's held-page account grew by this many pages *)
+  sh_shrink : int -> unit;
+      (** the path's held-page account shrank by this many pages *)
+}
+(** Buffer-sharing policy hooks (see [Fbufs_policy]). A path's {e held}
+    pages are those the allocator has charged to it: every Active fbuf
+    plus parked fbufs still carrying their charge ([Fbuf.accounted]); the
+    allocator reports every transition of that account and, for dynamic
+    policies, asks permission before growing it. The charge moves only at
+    allocator events (allocation, parking without frames, pageout, death),
+    so the account cannot drift when a page fault re-materializes a
+    paged-out parked buffer behind the allocator's back — such memory is
+    charged back at the buffer's next allocation. *)
+
+val set_share : t -> share option -> unit
+(** Attach (or detach, with [None]) sharing-policy hooks. *)
+
 val create :
   Region.t -> path:Path.t -> variant:Fbuf.variant -> ?policy:policy -> unit -> t
 (** The allocator is owned by the path's originator domain. [policy]
@@ -37,7 +66,10 @@ val alloc : t -> npages:int -> Fbuf.t
 (** Allocate an fbuf of exactly [npages] pages with one originator
     reference, writable by the originator. Reuses a cached buffer when one
     of the right size is available. Raises [Invalid_argument] if the
-    allocator was torn down or [npages] is not positive. *)
+    allocator was torn down or [npages] is not positive. When a dynamic
+    {!share} policy is attached its admission hook runs first and may
+    refuse by raising (e.g. [Fbufs_policy.Policy.Dropped]); refusal leaves
+    the allocator unchanged. *)
 
 val free_list_length : t -> int
 val live_fbufs : t -> int
@@ -60,11 +92,36 @@ val owned_chunks : t -> (int * int) list
 
 val is_torn_down : t -> bool
 
+val needs_frames : t -> npages:int -> bool
+(** Whether [alloc ~npages] right now would have to claim fresh physical
+    frames — false exactly when the buffer the cache would hand out is
+    still resident. Read-only; used by reservation checks in the
+    congestion scenarios and by dynamic sharing policies. *)
+
+val buffer_resident : Fbuf.t -> bool
+(** Whether the buffer still holds physical memory (its originator mapping
+    has a frame under its first page). Parked buffers lose residency to
+    {!reclaim}/{!reclaim_one} and regain it, Active, on the originator's
+    next touch. *)
+
+val buffer_accounted : Fbuf.t -> bool
+(** Whether the buffer's pages are currently charged to its path's
+    held-page account ([Fbuf.accounted]). Implies residency for parked
+    buffers; the converse can fail when a touch re-materialized a
+    paged-out parked buffer. *)
+
 val reclaim : t -> ?older_than_us:float -> max_fbufs:int -> unit -> int
 (** Pageout-daemon entry point: discard the physical memory of up to
     [max_fbufs] parked cached buffers, least recently used first,
     considering only buffers idle for at least [older_than_us] (default 0:
     any). Returns the number of buffers reclaimed. *)
+
+val reclaim_one : t -> Fbuf.t -> unit
+(** Discard the physical memory of one specific parked buffer — the
+    targeted form of {!reclaim}, used by the pageout daemon's deterministic
+    sweep and by a dynamic sharing policy's reclaim-before-drop eviction.
+    Raises [Invalid_argument] if the buffer is not parked on this
+    allocator or holds no physical memory. *)
 
 val teardown : t -> unit
 (** Destroy the endpoint: fully tear down free cached fbufs and return all

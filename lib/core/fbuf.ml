@@ -30,6 +30,10 @@ type t = {
   mutable on_all_freed : (t -> unit) option;
   mutable last_alloc_us : float;
   mutable xfer : int;  (* causal transfer carrying this fbuf; 0 = none *)
+  mutable accounted : bool;
+      (* pages charged to the path's held-page account (buffer-sharing);
+         set at allocation, cleared when the buffer parks without frames,
+         is paged out, or dies — see Allocator *)
 }
 
 let make ~m ~id ~base_vpn ~npages ~variant ~path =
@@ -47,6 +51,7 @@ let make ~m ~id ~base_vpn ~npages ~variant ~path =
     on_all_freed = None;
     last_alloc_us = 0.0;
     xfer = 0;
+    accounted = false;
   }
 
 let originator t = Path.originator t.path

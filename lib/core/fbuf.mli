@@ -49,6 +49,15 @@ type t = {
   mutable xfer : int;
       (** causal transfer ({!Fbufs_sim.Machine.current_transfer} at
           allocation) carried with the fbuf across domains; 0 = none *)
+  mutable accounted : bool;
+      (** whether this buffer's pages are charged to its path's held-page
+          account (buffer-sharing policies). Maintained by the allocator
+          at its own events — set on allocation, cleared when the buffer
+          parks without physical memory, is paged out, or dies. Memory
+          re-materialized by a touch of a paged-out parked buffer is
+          deliberately not re-charged until the next allocation: page
+          faults are invisible to the allocator, and accounting only at
+          allocator events is what keeps the account drift-free. *)
 }
 
 val make :

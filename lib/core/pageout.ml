@@ -1,20 +1,36 @@
 open Fbufs_sim
 module Mx = Fbufs_metrics.Metrics
 
+type victim = Allocator.t * Fbuf.t
+
 type t = {
   region : Region.t;
   low_water : int;
+  order : victim list -> victim list;
   mutable allocators : Allocator.t list;
 }
 
-let create region ?low_water_frames () =
+(* Global LRU: coldest parked buffer first across every registered
+   allocator, ties on fbuf id (allocation order). The key is total (ids
+   are unique), so the sweep order is deterministic regardless of
+   registration or size-class iteration order — the old round-robin
+   sweep was per-allocator LRU and ignored cache recency across paths. *)
+let lru_order vs =
+  List.sort
+    (fun ((_, a) : victim) ((_, b) : victim) ->
+      match compare a.Fbuf.last_alloc_us b.Fbuf.last_alloc_us with
+      | 0 -> compare a.Fbuf.id b.Fbuf.id
+      | c -> c)
+    vs
+
+let create region ?low_water_frames ?(order = lru_order) () =
   let m = Region.machine region in
   let low_water =
     match low_water_frames with
     | Some n -> n
     | None -> Phys_mem.total_frames m.Machine.pmem / 16
   in
-  { region; low_water; allocators = [] }
+  { region; low_water; order; allocators = [] }
 
 let register t alloc = t.allocators <- alloc :: t.allocators
 
@@ -29,6 +45,17 @@ let pressure t =
   let m = Region.machine t.region in
   Phys_mem.free_frames m.Machine.pmem < t.low_water
 
+(* Every reclaimable (parked, still-resident) buffer of every registered
+   allocator, paired with its allocator. *)
+let candidates t =
+  List.concat_map
+    (fun alloc ->
+      List.filter_map
+        (fun fb ->
+          if Allocator.buffer_resident fb then Some (alloc, fb) else None)
+        (Allocator.parked alloc))
+    t.allocators
+
 let balance t =
   let m = Region.machine t.region in
   let reclaimed = ref 0 in
@@ -39,20 +66,17 @@ let balance t =
   (* One daemon scan costs a range operation's worth of work. *)
   Machine.charge ~kind:"pageout.scan" ~comp:Fbufs_metrics.Component.Alloc m
     m.Machine.cost.Cost_model.vm_range_op;
-  let rec sweep () =
-    if pressure t then begin
-      let progress = ref false in
-      List.iter
-        (fun alloc ->
-          if pressure t && Allocator.reclaim alloc ~max_fbufs:1 () > 0 then begin
-            incr reclaimed;
-            progress := true
-          end)
-        t.allocators;
-      if !progress then sweep ()
-    end
-  in
-  sweep ();
+  (* The candidate list and its order are fixed at sweep start; the walk
+     then reclaims victims in that order until pressure clears, so the
+     reclaimed set is always a prefix of the ordered candidates. *)
+  let ordered = t.order (candidates t) in
+  List.iter
+    (fun (alloc, fb) ->
+      if pressure t then begin
+        Allocator.reclaim_one alloc fb;
+        incr reclaimed
+      end)
+    ordered;
   Stats.add m.Machine.stats "pageout.reclaimed" !reclaimed;
   (match Machine.metrics m with
   | None -> ()

@@ -7,23 +7,50 @@
     (free buffers are never written to backing store). The LIFO free-list
     discipline means reclamation naturally takes the coldest buffers.
 
-    Allocators register with the daemon; {!balance} reclaims cold cached
-    buffers round-robin until the free-frame pool reaches the low-water
+    Allocators register with the daemon; {!balance} reclaims parked
+    buffers in a deterministic victim order — global LRU across every
+    registered allocator by default, or whatever a buffer-sharing policy's
+    [order] hook decides — until the free-frame pool reaches the low-water
     mark (or nothing reclaimable remains). *)
 
 type t
 
-val create : Region.t -> ?low_water_frames:int -> unit -> t
-(** [low_water_frames] defaults to 1/16 of physical memory. *)
+type victim = Allocator.t * Fbuf.t
+(** One reclaimable candidate: a parked, still-resident buffer paired
+    with the allocator it is parked on. *)
+
+val lru_order : victim list -> victim list
+(** The default victim order: globally least-recently-allocated first
+    across all registered allocators, ties broken on fbuf id. Total and
+    deterministic — independent of registration order and free-list
+    iteration order. *)
+
+val create :
+  Region.t ->
+  ?low_water_frames:int ->
+  ?order:(victim list -> victim list) ->
+  unit ->
+  t
+(** [low_water_frames] defaults to 1/16 of physical memory. [order]
+    (default {!lru_order}) ranks the reclaim candidates at the start of
+    each {!balance} sweep, best victim first; a dynamic buffer-sharing
+    policy installs its own ordering here (see
+    [Fbufs_policy.Policy.pageout_order]). *)
 
 val register : t -> Allocator.t -> unit
 (** Make an allocator's free list visible to the daemon. *)
 
 val registered : t -> int
 
+val candidates : t -> victim list
+(** Every reclaimable (parked, still-resident) buffer of every registered
+    allocator, in registration-dependent order — {!balance} passes this
+    list through the daemon's [order] before sweeping. Read-only. *)
+
 val balance : t -> int
-(** Reclaim free cached fbufs (coldest first within each allocator) until
-    free frames >= low water; returns the number of fbufs reclaimed.
+(** Reclaim parked fbufs in the daemon's victim order until free frames
+    >= low water (the reclaimed set is a prefix of the ordered candidate
+    list fixed at sweep start); returns the number of fbufs reclaimed.
     Charges the daemon's scan work plus the per-page reclamation costs. *)
 
 val pressure : t -> bool

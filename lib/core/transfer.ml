@@ -146,9 +146,17 @@ let free (fb : Fbuf.t) ~dom =
   trace_fbuf_event fb ~domain:dom.Pd.name "fbuf.free";
   let orig = Fbuf.originator fb in
   (* An uncached receiver that is done with the buffer has no further use
-     for its mapping; cached receivers keep theirs (that is the cache). *)
-  if (not fb.variant.cached) && not (Pd.equal dom orig) then
-    unmap_receiver fb dom;
+     for its mapping; cached receivers keep theirs (that is the cache).
+     "Done" means the last reference: a receiver holding several (e.g. two
+     overlapping sends) keeps its mapping until the final free — dropping
+     it early would let a later read lazily re-fault the mapping without
+     re-entering [mapped_in], and teardown would then leak it onto the
+     next life of these addresses. *)
+  if
+    (not fb.variant.cached)
+    && (not (Pd.equal dom orig))
+    && Fbuf.ref_count fb dom = 0
+  then unmap_receiver fb dom;
   if Fbuf.total_refs fb = 0 then begin
     if fb.variant.cached then begin
       (* Return write permission to the originator and park the buffer on

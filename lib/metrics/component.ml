@@ -19,11 +19,12 @@ type t =
   | Net
   | Touch
   | Other
+  | Policy
 
 let all =
   [
     Alloc; Map; Unmap; Tlb_flush; Zero; Secure; Copy; Dag; Ipc; Proto; Net;
-    Touch; Other;
+    Touch; Other; Policy;
   ]
 
 let label = function
@@ -40,6 +41,7 @@ let label = function
   | Net -> "net"
   | Touch -> "touch"
   | Other -> "other"
+  | Policy -> "policy"
 
 let of_label s = List.find_opt (fun c -> label c = s) all
 
@@ -57,6 +59,7 @@ let index = function
   | Net -> 10
   | Touch -> 11
   | Other -> 12
+  | Policy -> 13
 
 let table1 = [ Alloc; Map; Unmap; Tlb_flush; Zero; Secure; Copy; Dag ]
 let in_table1 c = List.mem c table1

@@ -7,7 +7,8 @@
     remainder classify work outside Table 1's scope — IPC control
     transfer, protocol processing, network driver, per-word touches — so
     the attribution is total. [Other] is only ever produced by a charge
-    whose call site carries no tag. *)
+    whose call site carries no tag. [Policy] tags buffer-sharing policy
+    work (admission checks and victim scans, see [Fbufs_policy]). *)
 
 type t =
   | Alloc
@@ -23,6 +24,7 @@ type t =
   | Net
   | Touch
   | Other
+  | Policy
 
 val all : t list
 (** Every component, in a fixed report order. *)

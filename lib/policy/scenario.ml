@@ -1,0 +1,351 @@
+open Fbufs_sim
+open Fbufs_vm
+open Fbufs
+module Testbed = Fbufs_harness.Testbed
+module Report = Fbufs_harness.Report
+
+type name = Incast | Bursty | Mixed_rpc
+
+let all = [ Incast; Bursty; Mixed_rpc ]
+
+let label = function
+  | Incast -> "incast"
+  | Bursty -> "bursty"
+  | Mixed_rpc -> "mixed-rpc"
+
+type class_stat = {
+  cls : string;
+  attempts : int;
+  delivered : int;
+  dropped : int;
+}
+
+type outcome = {
+  scenario : string;
+  policy : string;
+  attempts : int;
+  delivered : int;
+  dropped : int;
+  evictions : int;
+  pageout_reclaims : int;
+  delivered_bytes : int;
+  elapsed_us : float;
+  by_class : class_stat list;
+}
+
+let policy_label = function
+  | Policy.Static -> "static"
+  | Policy.Fb_dynamic _ -> "fb-dynamic"
+
+(* One sending endpoint: its own domain, path and allocator, converging
+   on the shared sink domain. *)
+type endpoint = {
+  alloc : Allocator.t;
+  sender : Pd.t;
+  npages : int;
+  mutable live : Fbuf.t list;
+  mutable ep_attempts : int;
+  mutable ep_delivered : int;
+  mutable ep_dropped : int;
+}
+
+type world = {
+  tb : Testbed.t;
+  kind : Policy.kind;
+  pol : Policy.t;
+  daemon : Pageout.t;
+  sink : Pd.t;
+  mutable reclaims : int;
+  mutable bytes : int;
+}
+
+let make_world ~kind ~nframes =
+  let tb = Testbed.create ~name:"policy-scn" ~nframes () in
+  let pol = Policy.create tb.Testbed.region kind in
+  let daemon =
+    Pageout.create tb.Testbed.region ~order:(Policy.pageout_order pol) ()
+  in
+  let sink = Testbed.user_domain tb "sink" in
+  { tb; kind; pol; daemon; sink; reclaims = 0; bytes = 0 }
+
+let make_endpoint w ~name ~klass ~npages =
+  let sender = Testbed.user_domain w.tb name in
+  let alloc =
+    Testbed.allocator w.tb ~domains:[ sender; w.sink ] Fbuf.cached_volatile
+  in
+  Policy.register w.pol alloc ~klass;
+  Pageout.register w.daemon alloc;
+  {
+    alloc;
+    sender;
+    npages;
+    live = [];
+    ep_attempts = 0;
+    ep_delivered = 0;
+    ep_dropped = 0;
+  }
+
+let page_size w = w.tb.Testbed.m.Machine.cost.Cost_model.page_size
+
+(* Attempt one message: allocate, write, send to the sink, secure, read.
+   The buffer stays live (in flight) until the endpoint drains. Refusals
+   come from the dynamic policy's admission check (Dropped) or, under the
+   static policy, from the kernel's frame-reservation check — the static
+   kernel has no admission control, so an allocation that needs fresh
+   frames when none are free is simply lost. *)
+let send_one w ep =
+  ep.ep_attempts <- ep.ep_attempts + 1;
+  let m = w.tb.Testbed.m in
+  let attempt () =
+    match w.kind with
+    | Policy.Static ->
+        if
+          Allocator.needs_frames ep.alloc ~npages:ep.npages
+          && Phys_mem.free_frames m.Machine.pmem < ep.npages
+        then None
+        else Some (Allocator.alloc ep.alloc ~npages:ep.npages)
+    | Policy.Fb_dynamic _ -> (
+        match Allocator.alloc ep.alloc ~npages:ep.npages with
+        | fb -> Some fb
+        | exception Policy.Dropped _ -> None)
+  in
+  match attempt () with
+  | None -> ep.ep_dropped <- ep.ep_dropped + 1
+  | Some fb ->
+      let vaddr = fb.Fbuf.base_vpn * page_size w in
+      Access.touch_write ep.sender ~vaddr ~npages:ep.npages;
+      Transfer.send fb ~src:ep.sender ~dst:w.sink;
+      Transfer.secure fb;
+      Access.touch_read w.sink ~vaddr ~npages:ep.npages;
+      ep.ep_delivered <- ep.ep_delivered + 1;
+      w.bytes <- w.bytes + (ep.npages * page_size w);
+      ep.live <- fb :: ep.live
+
+(* The sink finishes with every in-flight buffer; last free parks them
+   (resident) on the sender's allocator. *)
+let drain w ep =
+  List.iter
+    (fun fb ->
+      Transfer.free fb ~dom:w.sink;
+      Transfer.free fb ~dom:ep.sender)
+    (List.rev ep.live);
+  ep.live <- []
+
+(* A periodic pageout-daemon tick, identical under both policies (only
+   the victim order differs). *)
+let tick w = w.reclaims <- w.reclaims + Pageout.balance w.daemon
+
+let class_stats groups =
+  List.map
+    (fun (cls, eps) ->
+      {
+        cls;
+        attempts = List.fold_left (fun a e -> a + e.ep_attempts) 0 eps;
+        delivered = List.fold_left (fun a e -> a + e.ep_delivered) 0 eps;
+        dropped = List.fold_left (fun a e -> a + e.ep_dropped) 0 eps;
+      })
+    groups
+
+let finish w ~scenario groups =
+  let by_class = class_stats groups in
+  let total f = List.fold_left (fun a c -> a + f c) 0 by_class in
+  let _, _, evicted = Policy.totals w.pol in
+  {
+    scenario = label scenario;
+    policy = policy_label w.kind;
+    attempts = total (fun c -> c.attempts);
+    delivered = total (fun c -> c.delivered);
+    dropped = total (fun c -> c.dropped);
+    evictions = evicted;
+    pageout_reclaims = w.reclaims;
+    delivered_bytes = w.bytes;
+    elapsed_us = Machine.now w.tb.Testbed.m;
+    by_class;
+  }
+
+(* Incast: sixteen bulk senders first fill the pool with their cached
+   buffers, then latency-sensitive and control traffic converges on the
+   sink and must find memory. The static kernel's pool is exhausted by
+   the bulk fill, so fresh high-class allocations are lost until the
+   periodic pageout tick limps along behind; the dynamic policy caps the
+   bulk fill at its threshold and reclaims over-threshold bulk buffers
+   on demand when the high classes surge. *)
+let run_incast w =
+  let bulk =
+    List.init 16 (fun i ->
+        make_endpoint w
+          ~name:(Printf.sprintf "bulk%02d" i)
+          ~klass:Policy.Bulk ~npages:4)
+  in
+  let lat =
+    List.init 2 (fun i ->
+        make_endpoint w
+          ~name:(Printf.sprintf "lat%d" i)
+          ~klass:Policy.Latency ~npages:2)
+  in
+  let ctl = make_endpoint w ~name:"ctl" ~klass:Policy.Control ~npages:1 in
+  (* Phase 1: bulk fill, one burst of eight 4-page messages per sender,
+     drained (parked resident) after each burst. *)
+  List.iter
+    (fun ep ->
+      for _ = 1 to 8 do
+        send_one w ep
+      done;
+      drain w ep)
+    bulk;
+  (* Phase 2: convergence rounds; rounds 5 and 8 surge. *)
+  for round = 1 to 10 do
+    let burst = if round = 5 || round = 8 then 20 else 12 in
+    List.iter
+      (fun ep ->
+        for _ = 1 to burst do
+          send_one w ep
+        done)
+      lat;
+    for _ = 1 to 4 do
+      send_one w ctl
+    done;
+    List.iter (drain w) lat;
+    drain w ctl;
+    if round mod 3 = 0 then tick w
+  done;
+  finish w ~scenario:Incast
+    [ ("control", [ ctl ]); ("latency", lat); ("bulk", bulk) ]
+
+(* Bursty on/off: eight bulk senders with staggered 50% duty cycles and a
+   ramping burst width park ever more memory while idle; two always-on
+   latency paths ride on top of whatever is left. *)
+let run_bursty w =
+  let bulk =
+    List.init 8 (fun i ->
+        make_endpoint w
+          ~name:(Printf.sprintf "bulk%02d" i)
+          ~klass:Policy.Bulk ~npages:4)
+  in
+  let lat =
+    List.init 2 (fun i ->
+        make_endpoint w
+          ~name:(Printf.sprintf "lat%d" i)
+          ~klass:Policy.Latency ~npages:2)
+  in
+  for slot = 0 to 29 do
+    List.iteri
+      (fun i ep ->
+        if (slot + i) mod 4 < 2 then begin
+          for _ = 1 to 3 + (slot / 6) do
+            send_one w ep
+          done;
+          drain w ep
+        end)
+      bulk;
+    List.iter
+      (fun ep ->
+        for _ = 1 to 2 do
+          send_one w ep
+        done;
+        drain w ep)
+      lat;
+    if slot mod 8 = 7 then tick w
+  done;
+  finish w ~scenario:Bursty [ ("latency", lat); ("bulk", bulk) ]
+
+(* Mixed RPC: small frequent control RPCs and mid-size latency RPCs
+   interleaved with four bulk streamers that hold big in-flight windows. *)
+let run_mixed w =
+  let bulk =
+    List.init 4 (fun i ->
+        make_endpoint w
+          ~name:(Printf.sprintf "bulk%02d" i)
+          ~klass:Policy.Bulk ~npages:4)
+  in
+  let lat =
+    List.init 2 (fun i ->
+        make_endpoint w
+          ~name:(Printf.sprintf "lat%d" i)
+          ~klass:Policy.Latency ~npages:2)
+  in
+  let ctl = make_endpoint w ~name:"ctl" ~klass:Policy.Control ~npages:1 in
+  for round = 1 to 8 do
+    List.iter
+      (fun ep ->
+        for _ = 1 to 6 do
+          send_one w ep
+        done)
+      bulk;
+    List.iter
+      (fun ep ->
+        for _ = 1 to 4 do
+          send_one w ep
+        done;
+        drain w ep)
+      lat;
+    for _ = 1 to 6 do
+      send_one w ctl;
+      drain w ctl
+    done;
+    List.iter (drain w) bulk;
+    if round mod 2 = 0 then tick w
+  done;
+  finish w ~scenario:Mixed_rpc
+    [ ("control", [ ctl ]); ("latency", lat); ("bulk", bulk) ]
+
+let frames_for = function Incast -> 512 | Bursty -> 160 | Mixed_rpc -> 104
+
+let run ~kind name =
+  let w = make_world ~kind ~nframes:(frames_for name) in
+  match name with
+  | Incast -> run_incast w
+  | Bursty -> run_bursty w
+  | Mixed_rpc -> run_mixed w
+
+let pct num den = if den = 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den
+
+let print_outcome o =
+  Printf.printf "%s%s%s%s%s%s%s%s\n"
+    (Report.cell ~width:10 o.scenario)
+    (Report.cell ~width:11 o.policy)
+    (Report.cell ~width:9 (string_of_int o.attempts))
+    (Report.cell ~width:10 (string_of_int o.delivered))
+    (Report.cell ~width:8 (string_of_int o.dropped))
+    (Report.cell ~width:7 (Printf.sprintf "%.1f%%" (pct o.dropped o.attempts)))
+    (Report.cell ~width:7 (string_of_int o.evictions))
+    (Report.cell ~width:7 (string_of_int o.pageout_reclaims));
+  List.iter
+    (fun c ->
+      Printf.printf "  %s%s%s%s\n"
+        (Report.cell ~width:19 ("- " ^ c.cls))
+        (Report.cell ~width:9 (string_of_int c.attempts))
+        (Report.cell ~width:10 (string_of_int c.delivered))
+        (Report.cell ~width:8 (string_of_int c.dropped)))
+    o.by_class
+
+(* The ablation the CI job runs: every congestion scenario under both
+   policies at equal pool size, with the per-class decomposition that
+   shows who pays the drops. *)
+let ablation () =
+  Report.print_title
+    "Buffer sharing under memory pressure: static vs fb-dynamic";
+  Printf.printf "%s%s%s%s%s%s%s%s\n"
+    (Report.cell ~width:10 "scenario")
+    (Report.cell ~width:11 "policy")
+    (Report.cell ~width:9 "attempts")
+    (Report.cell ~width:10 "delivered")
+    (Report.cell ~width:8 "dropped")
+    (Report.cell ~width:7 "drop%")
+    (Report.cell ~width:7 "evict")
+    (Report.cell ~width:7 "pgout");
+  List.iter
+    (fun name ->
+      let s = run ~kind:Policy.Static name in
+      let d = run ~kind:(Policy.Fb_dynamic { alpha = 0.5 }) name in
+      print_outcome s;
+      print_outcome d)
+    all;
+  print_newline ();
+  Printf.printf
+    "Equal pool per scenario; fb-dynamic thresholds are weight*alpha*free\n\
+     (control 8, latency 3, bulk 1; alpha 0.5). 'evict' counts \
+     reclaim-before-drop\n\
+     victims taken from over-threshold lower classes at admission; 'pgout' \
+     counts\n\
+     periodic pageout-daemon reclaims (policy-ordered under fb-dynamic).\n"

@@ -1,0 +1,43 @@
+(** Congestion scenarios for the buffer-sharing ablation.
+
+    Deterministic multi-path workloads on a small simulated host where
+    the fbuf pool is genuinely contended — many senders converging on one
+    sink ({!Incast}), staggered on/off senders hoarding parked buffers
+    ({!Bursty}), and small RPCs racing bulk streamers ({!Mixed_rpc}).
+    Each runs under a {!Policy.kind} at equal pool size, so the ablation
+    table isolates exactly what the dynamic policy buys: which class's
+    messages are dropped, how many reclaim-before-drop evictions paid for
+    admissions, and how much the periodic pageout tick reclaimed. *)
+
+type name = Incast | Bursty | Mixed_rpc
+
+val all : name list
+val label : name -> string
+
+type class_stat = {
+  cls : string;
+  attempts : int;
+  delivered : int;
+  dropped : int;
+}
+
+type outcome = {
+  scenario : string;
+  policy : string;
+  attempts : int;
+  delivered : int;
+  dropped : int;
+  evictions : int;  (** admission-path reclaim-before-drop victims *)
+  pageout_reclaims : int;  (** periodic daemon-tick reclaims *)
+  delivered_bytes : int;
+  elapsed_us : float;
+  by_class : class_stat list;
+}
+
+val run : kind:Policy.kind -> name -> outcome
+(** Run one scenario on a fresh host under the given policy. Fully
+    deterministic: same inputs, same outcome, byte for byte. *)
+
+val ablation : unit -> unit
+(** Print the static-vs-dynamic comparison table over {!all} scenarios
+    (the [buffer-sharing] ablation; golden-pinned). *)

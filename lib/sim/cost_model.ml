@@ -21,6 +21,8 @@ type t = {
   remap_page_overhead : float;
   page_alloc : float;
   page_free : float;
+  policy_check : float;
+  policy_victim_scan : float;
   ipc_call : float;
   ipc_reply : float;
   ipc_per_fbuf : float;
@@ -74,6 +76,8 @@ let decstation_5000_200 =
     remap_page_overhead = 6.0;
     page_alloc = 0.7;
     page_free = 0.5;
+    policy_check = 0.4;
+    policy_victim_scan = 1.6;
     ipc_call = 55.0;
     ipc_reply = 45.0;
     ipc_per_fbuf = 4.0;
@@ -114,6 +118,7 @@ let pp ppf c =
      vm: page-op %.2f, enter %.2f, remove %.2f, protect %.2f, shootdown %.2f@,\
      vm: shootdown-batch %.2f + %.2f/entry@,\
      vm: range-op %.2f, fault %.2f, palloc %.2f, pfree %.2f@,\
+     policy: check %.2f, victim-scan %.2f@,\
      ipc: call %.1f, reply %.1f, per-fbuf %.1f@,\
      proto %.1f, frag %.1f, driver %.1f, intr %.1f@,\
      link %.0f Mb/s, cell %d/%d, dma %.3f us + %.0f Mb/s, contention %.3f@,\
@@ -122,7 +127,8 @@ let pp ppf c =
     c.tlb_mod_fault c.copy_per_byte c.checksum_per_byte c.page_zero
     c.vm_page_op c.pmap_enter c.pmap_remove c.pmap_protect c.tlb_shootdown
     c.tlb_shootdown_batch_base c.tlb_shootdown_batch_entry
-    c.vm_range_op c.fault_trap c.page_alloc c.page_free c.ipc_call
+    c.vm_range_op c.fault_trap c.page_alloc c.page_free c.policy_check
+    c.policy_victim_scan c.ipc_call
     c.ipc_reply c.ipc_per_fbuf c.proto_op c.frag_op c.driver_op c.interrupt
     c.link_mbps c.cell_payload c.cell_total c.dma_startup c.dma_mbps
     c.bus_contention (effective_net_mbps c)

@@ -53,6 +53,16 @@ type t = {
           42-99 us/page realistic (section 2.2.1) *)
   page_alloc : float;  (** take one frame from the free-page pool *)
   page_free : float;  (** return one frame to the free-page pool *)
+  (* -- buffer-sharing policy ------------------------------------------ *)
+  policy_check : float;
+      (** one admission decision of a dynamic buffer-sharing policy
+          (sample remaining free frames, compare the path's held pages
+          against its threshold); a couple of loads and a multiply, so
+          well under a microsecond. Static policies charge nothing. *)
+  policy_victim_scan : float;
+      (** one scan over the parked-buffer candidate list to pick (or
+          order) reclaim victims under a dynamic policy; charged per
+          targeted eviction and once per policy-ordered pageout sweep *)
   (* -- IPC ------------------------------------------------------------ *)
   ipc_call : float;  (** one-way cross-domain control transfer (Mach RPC) *)
   ipc_reply : float;  (** return control transfer *)

@@ -209,6 +209,36 @@ let test_uncached_address_reused_after_free () =
   let fb2 = Allocator.alloc alloc ~npages:2 in
   check Alcotest.int "extent recycled" va (Fbuf.vaddr fb2)
 
+(* Regression: a receiver holding several references (two overlapping
+   sends) keeps its mapping until the *last* free. An early unmap used to
+   drop the receiver from [mapped_in]; a later read lazily re-faulted the
+   mapping without re-entering the list, and teardown then leaked the
+   stale mapping onto the next fbuf allocated at these addresses. *)
+let test_uncached_receiver_mapping_survives_partial_free () =
+  let tb, app, recv = setup2 () in
+  let alloc = Testbed.allocator tb ~domains:[ app; recv ] Fbuf.volatile_only in
+  let fb = Allocator.alloc alloc ~npages:1 in
+  let vpn = fb.Fbuf.base_vpn in
+  Fbuf_api.write fb ~as_:app ~off:0 "twice";
+  Transfer.send fb ~src:app ~dst:recv;
+  Transfer.send fb ~src:app ~dst:recv;
+  check Alcotest.string "receiver reads" "twice"
+    (Fbuf_api.read_string fb ~as_:recv ~off:0 ~len:5);
+  Transfer.free fb ~dom:recv;
+  Alcotest.(check bool) "still mapped with a reference outstanding" true
+    (Vm_map.mapped recv.Pd.map ~vpn);
+  check Alcotest.string "still readable" "twice"
+    (Fbuf_api.read_string fb ~as_:recv ~off:0 ~len:5);
+  Transfer.free fb ~dom:recv;
+  Alcotest.(check bool) "unmapped at last free" false
+    (Vm_map.mapped recv.Pd.map ~vpn);
+  Transfer.free fb ~dom:app;
+  (* The recycled address must carry no mapping from the earlier life. *)
+  let fb2 = Allocator.alloc alloc ~npages:1 in
+  check Alcotest.int "address recycled" vpn fb2.Fbuf.base_vpn;
+  Alcotest.(check bool) "no stale receiver mapping" false
+    (Vm_map.mapped recv.Pd.map ~vpn)
+
 (* ------------------------------------------------------------------ *)
 (* Reference counting and errors                                       *)
 (* ------------------------------------------------------------------ *)
@@ -760,6 +790,8 @@ let () =
             test_uncached_teardown_frees_frames;
           tc "uncached address reuse" `Quick
             test_uncached_address_reused_after_free;
+          tc "receiver mapping survives partial free" `Quick
+            test_uncached_receiver_mapping_survives_partial_free;
         ] );
       ( "refcounts",
         [

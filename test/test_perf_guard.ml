@@ -226,6 +226,41 @@ let test_elision_off_within_noise_of_on () =
     true
     (off_ns <= on_ns *. 1.05)
 
+(* Buffer-sharing hooks are pay-for-play the same way: a Static policy's
+   hooks maintain one integer account and never take the admission path
+   ([sh_dynamic] is false), so a managed alloc/free cycle does strictly
+   bounded extra work. The bare cycle must stay within noise of the
+   managed one — and the managed one, doing more, must not be the faster
+   side by more than noise either; one bound per direction. *)
+let test_static_share_within_noise_of_bare () =
+  let bare_tb = Testbed.create () in
+  let app_b = Testbed.user_domain bare_tb "app" in
+  let alloc_b =
+    Testbed.allocator bare_tb ~domains:[ app_b ] Fbuf.cached_volatile
+  in
+  let managed_tb = Testbed.create () in
+  let app_m = Testbed.user_domain managed_tb "app" in
+  let alloc_m =
+    Testbed.allocator managed_tb ~domains:[ app_m ] Fbuf.cached_volatile
+  in
+  let pol =
+    Fbufs_policy.Policy.create managed_tb.Testbed.region
+      Fbufs_policy.Policy.Static
+  in
+  Fbufs_policy.Policy.register pol alloc_m ~klass:Fbufs_policy.Policy.Latency;
+  let managed_ns, bare_ns =
+    interleaved_medians
+      ~fresh:(alloc_free alloc_m app_m 8)
+      ~cached:(alloc_free alloc_b app_b 8)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "median bare cycle (%.0f ns) <= 1.05 * median static-managed cycle \
+        (%.0f ns)"
+       bare_ns managed_ns)
+    true
+    (bare_ns <= managed_ns *. 1.05)
+
 (* The lint analyzer (PR 4) parses the whole tree with compiler-libs; it
    must never be linked into the benchmark executable or the harness it
    measures — an accidental dependency would drag parser tables and
@@ -256,6 +291,20 @@ let test_lint_not_linked_into_bench () =
         (contains src "fbufs_lint"))
     [ "bench/dune"; "lib/harness/dune" ]
 
+(* Same isolation for the policy layer: the benchmark measures the bare
+   mechanism, so the policy library (admission hooks, event log) must
+   never be linked into it or into the harness it is built from —
+   attaching a policy is an explicit per-experiment act. *)
+let test_policy_not_linked_into_bench () =
+  List.iter
+    (fun dune_file ->
+      let src = read_file (in_tree dune_file) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s does not link fbufs_policy" dune_file)
+        false
+        (contains src "fbufs_policy"))
+    [ "bench/dune"; "lib/harness/dune" ]
+
 let () =
   Alcotest.run "perf_guard"
     [
@@ -280,9 +329,16 @@ let () =
           Alcotest.test_case "elision-off path untaxed" `Quick
             test_elision_off_within_noise_of_on;
         ] );
+      ( "policy overhead",
+        [
+          Alcotest.test_case "static share within noise of bare" `Quick
+            test_static_share_within_noise_of_bare;
+        ] );
       ( "link isolation",
         [
           Alcotest.test_case "lint stays off the hot path" `Quick
             test_lint_not_linked_into_bench;
+          Alcotest.test_case "policy stays off the hot path" `Quick
+            test_policy_not_linked_into_bench;
         ] );
     ]
