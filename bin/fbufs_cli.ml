@@ -332,16 +332,20 @@ let check_cmd =
 
 let lint_cmd =
   let format =
-    let doc = "Output format: text or json." in
+    let doc = "Output format: text, json or sarif." in
     let fmt_conv =
       Arg.conv
         ( (function
           | "text" -> Ok `Text
           | "json" -> Ok `Json
-          | _ -> Error (`Msg "expected text or json")),
+          | "sarif" -> Ok `Sarif
+          | _ -> Error (`Msg "expected text, json or sarif")),
           fun ppf f ->
             Format.pp_print_string ppf
-              (match f with `Text -> "text" | `Json -> "json") )
+              (match f with
+              | `Text -> "text"
+              | `Json -> "json"
+              | `Sarif -> "sarif") )
     in
     Arg.(value & opt fmt_conv `Text & info [ "format" ] ~doc ~docv:"FMT")
   in
@@ -397,15 +401,34 @@ let lint_cmd =
     let fresh = L.Driver.unbaselined ~baseline findings in
     (match format with
     | `Text -> L.Driver.render_text Format.std_formatter fresh
-    | `Json -> L.Driver.render_json Format.std_formatter fresh);
-    if fresh <> [] then exit 1
+    | `Json -> L.Driver.render_json Format.std_formatter fresh
+    | `Sarif -> L.Sarif.render Format.std_formatter fresh);
+    if fresh <> [] then exit 1;
+    (* Staleness gate: a baseline entry nothing matches any more is dead
+       debt that would silently excuse a future regression. Fresh
+       findings dominate (exit 1 above); staleness alone exits 3. *)
+    let stale = L.Driver.stale_entries ~baseline findings in
+    if stale <> [] then begin
+      Format.eprintf
+        "lint: %d stale baseline entr%s (no current finding matches) — \
+         delete from the baseline:@."
+        (List.length stale)
+        (if List.length stale = 1 then "y" else "ies");
+      List.iter
+        (fun (f : L.Finding.t) ->
+          Format.eprintf "  %s %s: %s@." f.rule f.file f.msg)
+        stale;
+      exit 3
+    end
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Static fbuf-discipline analysis: parsetree lint of the repo's \
           sources (immutability, determinism, documented raises, \
-          reference pairing, no handle laundering) plus abstract \
+          reference pairing, no handle laundering), interprocedural \
+          typestate analysis of fbuf handles (use-after-free, leaks, \
+          write-after-send, read-before-secure) plus abstract \
           interpretation of the declarative data-path specs")
     Term.(const run $ format $ baseline $ out $ root)
 

@@ -1,0 +1,226 @@
+open Parsetree
+
+type def = {
+  qname : string;
+  unit_name : string;
+  file : string;
+  params : (Asttypes.arg_label * string option) list;
+  body : expression;
+  line : int;
+  col : int;
+}
+
+type t = {
+  defs : def list;
+  by_last : (string, def list) Hashtbl.t;
+}
+
+let key d = Printf.sprintf "%s:%d:%d:%s" d.file d.line d.col d.qname
+let defs t = t.defs
+
+let unit_of_file file =
+  String.capitalize_ascii
+    (Filename.remove_extension (Filename.basename file))
+
+(* Peel the [fun] chain off a binding's expression, recording each
+   parameter's label and (when the pattern is a plain variable, possibly
+   constrained) its name. *)
+let rec collect_params e =
+  match e.pexp_desc with
+  | Pexp_fun (lbl, _, pat, body) ->
+      let name =
+        match pat.ppat_desc with
+        | Ppat_var { txt; _ } -> Some txt
+        | Ppat_constraint ({ ppat_desc = Ppat_var { txt; _ }; _ }, _) ->
+            Some txt
+        | _ -> None
+      in
+      let ps, b = collect_params body in
+      ((lbl, name) :: ps, b)
+  | Pexp_newtype (_, body) -> collect_params body
+  | _ -> ([], e)
+
+let rec defs_of_items ~unit_name ~file prefix items acc =
+  (* Bindings to non-variable patterns — [let () = ...], [let _ = ...] —
+     and bare [;;]-expressions still run fbuf code (that is exactly what
+     example programs look like), so they become anonymous definitions:
+     analyzed for findings, unreachable by name resolution (the ["<top:"]
+     component can never appear in an identifier path). *)
+  let anon expr =
+    let params, body = collect_params expr in
+    let line, col = Rules.line_col expr.pexp_loc in
+    {
+      qname = Printf.sprintf "%s<top:%d:%d>" prefix line col;
+      unit_name;
+      file;
+      params;
+      body;
+      line;
+      col;
+    }
+  in
+  List.fold_left
+    (fun acc it ->
+      match it.pstr_desc with
+      | Pstr_value (_, vbs) ->
+          List.fold_left
+            (fun acc vb ->
+              match vb.pvb_pat.ppat_desc with
+              | Ppat_var { txt; _ } ->
+                  let params, body = collect_params vb.pvb_expr in
+                  let line, col = Rules.line_col vb.pvb_expr.pexp_loc in
+                  { qname = prefix ^ txt; unit_name; file; params; body;
+                    line; col }
+                  :: acc
+              | _ -> anon vb.pvb_expr :: acc)
+            acc vbs
+      | Pstr_eval (e, _) -> anon e :: acc
+      | Pstr_module
+          {
+            pmb_name = { txt = Some n; _ };
+            pmb_expr = { pmod_desc = Pmod_structure s; _ };
+            _;
+          } ->
+          defs_of_items ~unit_name ~file (prefix ^ n ^ ".") s acc
+      | _ -> acc)
+    acc items
+
+let build units =
+  let defs =
+    List.concat_map
+      (fun (file, str) ->
+        let u = unit_of_file file in
+        List.rev (defs_of_items ~unit_name:u ~file (u ^ ".") str []))
+      units
+  in
+  let by_last = Hashtbl.create 64 in
+  List.iter
+    (fun d ->
+      match List.rev (String.split_on_char '.' d.qname) with
+      | last :: _ ->
+          let prev =
+            Option.value (Hashtbl.find_opt by_last last) ~default:[]
+          in
+          Hashtbl.replace by_last last (d :: prev)
+      | [] -> ())
+    defs;
+  { defs; by_last }
+
+(* [path] is suffix-matched against qname components, so [Helpers.f],
+   [Lib.Helpers.f] and a local alias all resolve alike. *)
+let suffix_matches ~path qn =
+  let qc = String.split_on_char '.' qn in
+  let lq = List.length qc and lp = List.length path in
+  lp <= lq
+  &&
+  let rec drop n l = if n = 0 then l else drop (n - 1) (List.tl l) in
+  drop (lq - lp) qc = path
+
+(* Later top-level bindings shadow earlier ones of the same qname, so
+   among same-qname candidates the textually last wins. *)
+let last_of_qname cands =
+  List.fold_left
+    (fun best d ->
+      match best with
+      | Some b when not (b.file = d.file && b.qname = d.qname) -> best
+      | Some b -> if d.line >= b.line then Some d else best
+      | None -> Some d)
+    None cands
+
+let resolve t ~unit_name path =
+  match List.rev path with
+  | [] -> None
+  | last :: _ -> (
+      let cands =
+        Option.value (Hashtbl.find_opt t.by_last last) ~default:[]
+      in
+      let matching = List.filter (fun d -> suffix_matches ~path d.qname) cands in
+      let same_unit = List.filter (fun d -> d.unit_name = unit_name) matching in
+      let pick group =
+        match group with
+        | [] -> None
+        | d :: rest ->
+            if List.for_all (fun d' -> d'.qname = d.qname && d'.file = d.file)
+                 rest
+            then last_of_qname group
+            else None (* ambiguous across units: stay unknown *)
+      in
+      match path with
+      | [ _ ] ->
+          (* Unqualified names resolve only within their own unit. *)
+          pick same_unit
+      | _ -> ( match pick matching with Some d -> Some d | None -> pick same_unit))
+
+let callees t d =
+  let acc = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_apply (f, _) -> (
+              match Rules.ident_path f with
+              | Some path -> (
+                  match resolve t ~unit_name:d.unit_name path with
+                  | Some d' -> acc := d' :: !acc
+                  | None -> ())
+              | None -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it d.body;
+  !acc
+
+(* Tarjan; SCCs pop in callees-first order, which is exactly the order
+   the summary fixpoint wants. *)
+let sccs t =
+  let defs = Array.of_list t.defs in
+  let n = Array.length defs in
+  let id_of = Hashtbl.create n in
+  Array.iteri (fun i d -> Hashtbl.replace id_of (key d) i) defs;
+  let succs =
+    Array.map
+      (fun d ->
+        List.filter_map (fun d' -> Hashtbl.find_opt id_of (key d'))
+          (callees t d))
+      defs
+  in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let out = ref [] in
+  let rec strongconnect v =
+    index.(v) <- !counter;
+    lowlink.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) < 0 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      succs.(v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      let comp = pop [] in
+      out := List.map (fun i -> defs.(i)) comp :: !out
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then strongconnect v
+  done;
+  List.rev !out

@@ -1,0 +1,53 @@
+(** The whole-tree definition table and call graph Layer C analyzes.
+
+    Definitions are the top-level [let]-bound values of every parsed unit
+    (including those inside literal [module M = struct .. end] blocks),
+    keyed by qualified name [Unit.Sub.f] where [Unit] is the capitalized
+    file basename. Call edges are syntactic applications whose head
+    identifier resolves to a definition; resolution is by qualified-name
+    suffix so [Helpers.process], [Fbufs_harness.Helpers.process] and a
+    local module alias all reach the same definition, while an ambiguous
+    suffix (two units exporting the same path) resolves to nothing —
+    Layer C then treats the call as unknown, which is the conservative
+    direction. *)
+
+type def = {
+  qname : string;  (** [Unit.f] or [Unit.Sub.f] *)
+  unit_name : string;  (** capitalized file basename *)
+  file : string;  (** root-relative [.ml] path *)
+  params : (Asttypes.arg_label * string option) list;
+      (** the [fun] chain's parameters; [None] for non-variable patterns *)
+  body : Parsetree.expression;  (** the body after the [fun] chain *)
+  line : int;
+  col : int;  (** span of the binding's expression *)
+}
+
+type t
+
+val key : def -> string
+(** Unique table key ([file:line:col:qname]); qnames alone can collide
+    under top-level shadowing. *)
+
+val defs : t -> def list
+(** Every definition, in source order per unit. Besides named bindings
+    this includes one anonymous definition per [let () = ...] /
+    [let _ = ...] / bare [;;]-expression item (qname [Unit.<top:l:c>]) —
+    example programs keep their fbuf code there, and Layer C analyzes
+    them like any other body; they are never the target of resolution. *)
+
+val build : (string * Parsetree.structure) list -> t
+(** [(file, parsetree)] pairs for every unit in scope. *)
+
+val resolve : t -> unit_name:string -> string list -> def option
+(** Resolve an applied identifier path seen inside [unit_name].
+    Unqualified names resolve only within their own unit; qualified names
+    suffix-match across the tree, falling back to the caller's unit, and
+    ambiguity yields [None]. *)
+
+val callees : t -> def -> def list
+(** Resolved targets of every application in [d]'s body (duplicates
+    preserved; order unspecified). *)
+
+val sccs : t -> def list list
+(** Strongly connected components in callees-first topological order —
+    the order in which the summary fixpoint visits them. *)

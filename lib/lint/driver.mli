@@ -14,8 +14,15 @@ val find_root : unit -> string option
 (** Nearest ancestor of the working directory containing [dune-project]. *)
 
 val run : root:string -> Finding.t list
-(** All findings from both layers, sorted, duplicates removed. Skips
-    [_build] and dot-directories. *)
+(** All findings from every layer — Layer A per-file rules, Layer C
+    interprocedural typestate ({!Typestate.lint_units} over every unit
+    that parses), {!Pathspec} checks — sorted, duplicates removed, and
+    {!dedup}-filtered. Skips [_build] and dot-directories. *)
+
+val dedup : Finding.t list -> Finding.t list
+(** Drop a syntactic finding shadowed by its interprocedural refinement
+    at the same [file:line:col] — L4 by C2, L1 by C3 — keeping the list's
+    {!Finding.compare} order intact. {!run} applies this already. *)
 
 val render_text : Format.formatter -> Finding.t list -> unit
 val render_json : Format.formatter -> Finding.t list -> unit
@@ -25,3 +32,11 @@ val load_baseline : string -> Finding.t list
     [Invalid_argument] if malformed. *)
 
 val unbaselined : baseline:Finding.t list -> Finding.t list -> Finding.t list
+
+val stale_entries :
+  baseline:Finding.t list -> Finding.t list -> Finding.t list
+(** Baseline entries no current finding matches (same rule, file and
+    message — the {!Finding.baseline_mem} criterion). [fbufs_cli lint
+    --baseline] treats a non-empty result as an error (exit 3): stale
+    entries are deleted debt that would otherwise excuse future
+    regressions. *)

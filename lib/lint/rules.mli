@@ -68,3 +68,36 @@ val reset_registered_metrics : unit -> unit
     calls this before every tree walk; call it between unrelated
     {!lint_unit} batches so duplicate detection does not leak across
     runs. *)
+
+(** {2 Shared parsing and parsetree helpers}
+
+    Layer C ({!Callgraph}, {!Typestate}) reuses Layer A's parser and
+    identifier utilities so both layers agree on file positions and path
+    normalization. *)
+
+type parse_result =
+  | Ok_impl of Parsetree.structure
+  | Ok_intf of Parsetree.signature
+  | Err of Finding.t  (** an ["E0"] finding at the error location *)
+
+val parse : file:string -> kind:[ `Impl | `Intf ] -> string -> parse_result
+
+val line_col : Location.t -> int * int
+(** 1-based line, 0-based column of the location's start. *)
+
+val ident_path : Parsetree.expression -> string list option
+(** The flattened path of an identifier expression ([Transfer.send] ->
+    [["Transfer"; "send"]]), with a leading [Stdlib.] stripped. *)
+
+val rev_path : Parsetree.expression -> string list option
+(** {!ident_path} reversed — suffix matching reads outward. *)
+
+val labelled :
+  string ->
+  (Asttypes.arg_label * Parsetree.expression) list ->
+  Parsetree.expression option
+(** The argument carrying the given label, if present. *)
+
+val release_names : string list
+(** Last path components treated as reference-relinquishing calls by L4
+    and by Layer C's unknown-callee fallback. *)

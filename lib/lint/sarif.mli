@@ -1,0 +1,14 @@
+(** SARIF 2.1.0 rendering of lint findings.
+
+    One run, driver [fbufs_lint], the full rule table in
+    [tool.driver.rules] (so viewers can document rules with no results),
+    one [result] per finding with a [physicalLocation] whose region uses
+    1-based lines (clamped) and 1-based columns (findings store 0-based
+    columns). Emitted by [fbufs_cli lint --format sarif]; CI uploads it
+    as an artifact next to the plain JSON report. *)
+
+val rule_meta : (string * string) list
+(** [(rule id, short description)] for every rule either layer emits. *)
+
+val to_json : Finding.t list -> Fbufs_trace.Json.t
+val render : Format.formatter -> Finding.t list -> unit

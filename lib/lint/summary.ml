@@ -1,0 +1,90 @@
+type param_sum = {
+  consumes : bool;
+  sends : bool;
+  secures : bool;
+  writes : bool;
+  reads : bool;
+}
+
+type returns = R_none | R_fresh of { volatile : bool } | R_param of int
+
+type fsum = { params : param_sum array; ret : returns }
+
+let bot_param =
+  { consumes = false; sends = false; secures = false; writes = false;
+    reads = false }
+
+let bot ~nparams = { params = Array.make nparams bot_param; ret = R_none }
+
+let join_param a b =
+  {
+    consumes = a.consumes || b.consumes;
+    sends = a.sends || b.sends;
+    secures = a.secures || b.secures;
+    writes = a.writes || b.writes;
+    reads = a.reads || b.reads;
+  }
+
+(* The return slot is not part of the monotone bit lattice: R_none is the
+   unknown bottom and any disagreement sticks with the first committed
+   answer, which keeps the fixpoint deterministic. *)
+let join_ret a b =
+  match (a, b) with R_none, x -> x | x, R_none -> x | x, _ -> x
+
+let join a b =
+  let n = max (Array.length a.params) (Array.length b.params) in
+  let at s i = if i < Array.length s.params then s.params.(i) else bot_param in
+  {
+    params = Array.init n (fun i -> join_param (at a i) (at b i));
+    ret = join_ret a.ret b.ret;
+  }
+
+let le_param a b =
+  ((not a.consumes) || b.consumes)
+  && ((not a.sends) || b.sends)
+  && ((not a.secures) || b.secures)
+  && ((not a.writes) || b.writes)
+  && ((not a.reads) || b.reads)
+
+let le a b =
+  Array.length a.params <= Array.length b.params
+  && Array.for_all2 le_param a.params
+       (Array.sub b.params 0 (Array.length a.params))
+
+let equal a b = a.ret = b.ret && a.params = b.params
+
+type table = (string, fsum) Hashtbl.t
+
+let find table d =
+  match Hashtbl.find_opt table (Callgraph.key d) with
+  | Some s -> s
+  | None -> bot ~nparams:(List.length d.Callgraph.params)
+
+(* Fixpoint over the SCCs in callees-first order. Each recomputed summary
+   is joined onto the previous one, so per-definition state only grows
+   along the finite bit lattice — termination does not depend on the
+   analyze callback itself being monotone. [rounds] counts inner sweeps
+   (the qcheck property bounds it). *)
+let compute cg ~analyze =
+  let table : table = Hashtbl.create 64 in
+  let rounds = ref 0 in
+  List.iter
+    (fun scc ->
+      let changed = ref true in
+      let guard = ref 0 in
+      while !changed && !guard < 64 do
+        changed := false;
+        incr guard;
+        incr rounds;
+        List.iter
+          (fun d ->
+            let old = find table d in
+            let next = join old (analyze d ~lookup:(find table)) in
+            if not (equal next old) then begin
+              Hashtbl.replace table (Callgraph.key d) next;
+              changed := true
+            end)
+          scc
+      done)
+    (Callgraph.sccs cg);
+  (table, !rounds)

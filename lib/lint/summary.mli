@@ -1,0 +1,50 @@
+(** Per-function ownership summaries, computed to fixpoint over the call
+    graph's SCCs.
+
+    A summary records, for each parameter position, what the function
+    (transitively) does to a handle passed there — the bits Layer C's
+    caller-side typestate transitions consume — and what the result
+    carries. All bits are monotone under {!join}; the return slot commits
+    to its first non-[R_none] answer. *)
+
+type param_sum = {
+  consumes : bool;  (** some path relinquishes a reference *)
+  sends : bool;  (** some path transfers the handle *)
+  secures : bool;  (** some path secures it *)
+  writes : bool;  (** some path writes the payload *)
+  reads : bool;  (** some path reads the payload *)
+}
+
+type returns =
+  | R_none  (** no handle, or unknown *)
+  | R_fresh of { volatile : bool }  (** a handle the function allocated *)
+  | R_param of int  (** parameter [i] passed through *)
+
+type fsum = { params : param_sum array; ret : returns }
+
+val bot_param : param_sum
+val bot : nparams:int -> fsum
+
+val join : fsum -> fsum -> fsum
+val le : fsum -> fsum -> bool
+(** Pointwise bit implication on the parameter summaries (ignores [ret]) —
+    the order the qcheck monotonicity property checks. *)
+
+val equal : fsum -> fsum -> bool
+
+type table = (string, fsum) Hashtbl.t
+(** Keyed by {!Callgraph.key}. *)
+
+val find : table -> Callgraph.def -> fsum
+(** The current summary, bottom when not yet computed. *)
+
+val compute :
+  Callgraph.t ->
+  analyze:(Callgraph.def -> lookup:(Callgraph.def -> fsum) -> fsum) ->
+  table * int
+(** Run [analyze] over every definition, SCC by SCC in callees-first
+    order, iterating each SCC until its summaries stop growing. [analyze]
+    reads callee summaries through [lookup]. Returns the table and the
+    total number of sweeps performed (bounded: summaries only grow along
+    a finite lattice, and each SCC additionally carries a hard sweep
+    cap). *)

@@ -363,6 +363,434 @@ let test_malformed_baseline_rejected () =
        false
      with Invalid_argument _ -> true)
 
+(* ------------------------------------------------------------------ *)
+(* Layer C: interprocedural typestate — bad fixtures                   *)
+
+module Typestate = Fbufs_lint.Typestate
+module Summary = Fbufs_lint.Summary
+module Driver = Fbufs_lint.Driver
+module Sarif = Fbufs_lint.Sarif
+
+let lint_c impl = Typestate.lint_unit ~file:"lib/demo/fixture.ml" ~impl
+
+let test_c1_cross_function_use_after_free () =
+  lint_c
+    "let discard fb dom =\n\
+    \  Transfer.free fb ~dom\n\
+     \n\
+     let go alloc dom =\n\
+    \  let fb = Allocator.alloc alloc ~npages:1 in\n\
+    \  discard fb dom;\n\
+    \  Fbuf_api.read fb ~as_:dom ~off:0 ~len:4\n"
+  |> expect_one ~rule:"C1" ~line:7 ~keyword:"use after free"
+
+let test_c1_double_free () =
+  lint_c
+    "let twice alloc dom =\n\
+    \  let fb = Allocator.alloc alloc ~npages:1 in\n\
+    \  Transfer.free fb ~dom;\n\
+    \  Transfer.free fb ~dom\n"
+  |> expect_one ~rule:"C1" ~line:4 ~keyword:"double free"
+
+let test_c2_leak_through_helper () =
+  lint_c
+    "let make alloc =\n\
+    \  Allocator.alloc alloc ~npages:1\n\
+     \n\
+     let forget alloc =\n\
+    \  let fb = make alloc in\n\
+    \  ignore (Fbuf.size fb)\n"
+  |> expect_one ~rule:"C2" ~line:5 ~keyword:"leaked"
+
+let test_c3_write_after_send_via_alias () =
+  lint_c
+    "let oops alloc src dst =\n\
+    \  let fb = Allocator.alloc alloc ~npages:1 in\n\
+    \  let same = fb in\n\
+    \  Transfer.send fb ~src ~dst;\n\
+    \  Fbuf_api.set_word same ~as_:src ~off:0 7;\n\
+    \  Transfer.free fb ~dom:dst;\n\
+    \  Transfer.free same ~dom:src\n"
+  |> expect_one ~rule:"C3" ~line:5 ~keyword:"immutable"
+
+let test_c3_write_after_send_via_helper () =
+  lint_c
+    "let poke fb dom =\n\
+    \  Fbuf_api.touch_write fb ~as_:dom\n\
+     \n\
+     let relay alloc src dst =\n\
+    \  let fb = Allocator.alloc alloc ~npages:1 in\n\
+    \  Transfer.send fb ~src ~dst;\n\
+    \  poke fb src;\n\
+    \  Transfer.free fb ~dom:src\n"
+  |> expect_one ~rule:"C3" ~line:7 ~keyword:"poke"
+
+let test_c4_read_before_secure_via_helper () =
+  lint_c
+    "let peek fb dom =\n\
+    \  Fbuf_api.word_at fb ~as_:dom ~off:0\n\
+     \n\
+     let spy tb producer consumer =\n\
+    \  let alloc =\n\
+    \    Testbed.allocator tb ~domains:[ producer; consumer ]\n\
+    \      Fbuf.cached_volatile\n\
+    \  in\n\
+    \  let fb = Allocator.alloc alloc ~npages:1 in\n\
+    \  Transfer.send fb ~src:producer ~dst:consumer;\n\
+    \  ignore (peek fb consumer);\n\
+    \  Transfer.secure fb;\n\
+    \  Transfer.free fb ~dom:consumer;\n\
+    \  Transfer.free fb ~dom:producer\n"
+  |> expect_one ~rule:"C4" ~line:11 ~keyword:"before secure"
+
+let test_c3_direct_write_after_send () =
+  lint_c
+    "let demo alloc src dst =\n\
+    \  let fb = Allocator.alloc alloc ~npages:1 in\n\
+    \  Transfer.send fb ~src ~dst;\n\
+    \  Fbuf_api.touch_write fb ~as_:src;\n\
+    \  Transfer.free fb ~dom:src;\n\
+    \  Transfer.free fb ~dom:dst\n"
+  |> expect_one ~rule:"C3" ~line:4 ~keyword:"immutable"
+
+(* ------------------------------------------------------------------ *)
+(* Layer C: negatives (the hand-off idioms must stay clean)            *)
+
+let expect_clean name impl =
+  check (Alcotest.list finding_t) name [] (lint_c impl)
+
+let test_c_clean_handoff_to_helper () =
+  expect_clean "deliver owns the frees"
+    "let deliver fb ~src ~dst =\n\
+    \  Transfer.send fb ~src ~dst;\n\
+    \  Transfer.free fb ~dom:dst;\n\
+    \  Transfer.free fb ~dom:src\n\
+     \n\
+     let pipeline alloc src dst =\n\
+    \  let fb = Allocator.alloc alloc ~npages:1 in\n\
+    \  Fbuf_api.write fb ~as_:src ~off:0 \"payload\";\n\
+    \  deliver fb ~src ~dst\n"
+
+let test_c_clean_rx_handler_lambda () =
+  expect_clean "rx handler borrows and frees"
+    "let install rx dom =\n\
+    \  Ipc.set_rx_handler rx (fun fb ->\n\
+    \      ignore (Fbuf_api.word_at fb ~as_:dom ~off:0);\n\
+    \      Transfer.free fb ~dom)\n"
+
+let test_c_clean_returned_handle () =
+  expect_clean "returning hands ownership off"
+    "let produce alloc dom =\n\
+    \  let fb = Allocator.alloc alloc ~npages:1 in\n\
+    \  Fbuf_api.write fb ~as_:dom ~off:0 \"x\";\n\
+    \  fb\n"
+
+let test_c_clean_two_domain_free () =
+  expect_clean "one free per holding domain is not a double free"
+    "let full alloc src dst =\n\
+    \  let fb = Allocator.alloc alloc ~npages:1 in\n\
+    \  Transfer.send fb ~src ~dst;\n\
+    \  Transfer.secure fb;\n\
+    \  Transfer.free fb ~dom:dst;\n\
+    \  Transfer.free fb ~dom:src\n"
+
+let test_c_clean_branchy_free_is_l4_territory () =
+  (* Relinquished on one path only: L4's finding, not C2's (C2 is the
+     no-path completion). *)
+  expect_clean "some-path free raises no C finding"
+    "let branchy alloc dom keep =\n\
+    \  let fb = Allocator.alloc alloc ~npages:1 in\n\
+    \  if keep then Transfer.free fb ~dom\n"
+
+let test_c_allow_annotation_suppresses () =
+  expect_clean "[@lint.allow] silences the named rule"
+    "let demo alloc src dst =\n\
+    \  let fb = Allocator.alloc alloc ~npages:1 in\n\
+    \  Transfer.send fb ~src ~dst;\n\
+    \  (Fbuf_api.touch_write fb ~as_:src [@lint.allow \"C3\"]);\n\
+    \  Transfer.free fb ~dom:src;\n\
+    \  Transfer.free fb ~dom:dst\n"
+
+(* ------------------------------------------------------------------ *)
+(* Dedup: L4 and C2 at the same span keep only the Layer C finding     *)
+
+let test_dedup_l4_shadowed_by_c2 () =
+  let impl =
+    "let free _fb = ()\n\
+     \n\
+     let stubbed alloc keep =\n\
+    \  let fb = Allocator.alloc alloc ~npages:1 in\n\
+    \  if keep then () else free fb\n"
+  in
+  let a = Rules.lint_unit ~file:"lib/demo/fixture.ml" ~impl () in
+  let c = Typestate.lint_unit ~file:"lib/demo/fixture.ml" ~impl in
+  let combined = List.sort_uniq Finding.compare (a @ c) in
+  check Alcotest.int "both layers fire" 2 (List.length combined);
+  Alcotest.(check (list string))
+    "L4 and C2 share the span"
+    [ "C2"; "L4" ]
+    (List.map (fun f -> f.Finding.rule) combined);
+  Driver.dedup combined |> expect_one ~rule:"C2" ~line:4 ~keyword:"leaked"
+
+let test_dedup_keeps_distinct_spans () =
+  let l4 = Finding.v ~rule:"L4" ~file:"a.ml" ~line:2 ~col:11 "acquired" in
+  let c2 = Finding.v ~rule:"C2" ~file:"a.ml" ~line:9 ~col:11 "leaked" in
+  check Alcotest.int "different lines: both survive" 2
+    (List.length (Driver.dedup [ l4; c2 ]))
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: summary fixpoint terminates, is deterministic and monotone  *)
+
+let graph_src shape =
+  let n = List.length shape in
+  let buf = Buffer.create 256 in
+  List.iteri
+    (fun i (frees, outs) ->
+      Buffer.add_string buf (Printf.sprintf "let f%d fb dom =\n" i);
+      if frees then Buffer.add_string buf "  Transfer.free fb ~dom;\n";
+      List.iter
+        (fun j -> Buffer.add_string buf (Printf.sprintf "  f%d fb dom;\n" (j mod n)))
+        outs;
+      Buffer.add_string buf "  ()\n\n")
+    shape;
+  Buffer.contents buf
+
+let parse_fixture src =
+  match Rules.parse ~file:"lib/demo/gen.ml" ~kind:`Impl src with
+  | Rules.Ok_impl str -> [ ("lib/demo/gen.ml", str) ]
+  | _ -> Alcotest.fail ("generated fixture does not parse:\n" ^ src)
+
+let prop_summary_fixpoint =
+  QCheck.Test.make
+    ~name:"summary fixpoint terminates, deterministic, monotone" ~count:60
+    QCheck.(
+      list_of_size
+        Gen.(2 -- 8)
+        (pair bool (list_of_size Gen.(0 -- 3) (int_bound 7))))
+    (fun shape ->
+      QCheck.assume (List.length shape >= 2);
+      let units = parse_fixture (graph_src shape) in
+      let s1, rounds = Typestate.summaries units in
+      let s2, _ = Typestate.summaries units in
+      let n = List.length shape in
+      (* Terminates well under the bound even with cycles. *)
+      if rounds > (16 * n) + 8 then
+        QCheck.Test.fail_reportf "too many sweeps: %d for %d defs" rounds n;
+      (* Deterministic. *)
+      if
+        not
+          (List.for_all2
+             (fun (q1, a) (q2, b) -> q1 = q2 && Summary.equal a b)
+             s1 s2)
+      then QCheck.Test.fail_report "two runs disagree";
+      (* Monotone: making one body also free its handle can only grow
+         summaries. *)
+      let grown =
+        match shape with
+        | (_, outs) :: rest -> (true, outs) :: rest
+        | [] -> []
+      in
+      let s3, _ = Typestate.summaries (parse_fixture (graph_src grown)) in
+      List.for_all2 (fun (_, a) (_, b) -> Summary.le a b) s1 s3)
+
+(* ------------------------------------------------------------------ *)
+(* SARIF                                                               *)
+
+let test_sarif_shape () =
+  let fs =
+    [
+      Finding.v ~rule:"C1" ~file:"examples/quickstart.ml" ~line:43 ~col:65
+        "use after free";
+      Finding.v ~rule:"B2" ~file:"spec/fixture" ~line:0 "config-level";
+    ]
+  in
+  let module J = Fbufs_trace.Json in
+  let doc = J.parse (J.to_string (Sarif.to_json fs)) in
+  let get path v =
+    List.fold_left
+      (fun v k ->
+        match v with
+        | Some (J.Obj _ as o) -> J.member k o
+        | Some (J.List l) -> ( try Some (List.nth l (int_of_string k)) with _ -> None)
+        | _ -> None)
+      (Some v) path
+  in
+  (match get [ "version" ] doc with
+  | Some (J.String "2.1.0") -> ()
+  | _ -> Alcotest.fail "version");
+  (match get [ "runs"; "0"; "tool"; "driver"; "name" ] doc with
+  | Some (J.String "fbufs_lint") -> ()
+  | _ -> Alcotest.fail "driver name");
+  (match get [ "runs"; "0"; "results"; "0"; "ruleId" ] doc with
+  | Some (J.String "C1") -> ()
+  | _ -> Alcotest.fail "ruleId");
+  (match
+     get
+       [
+         "runs"; "0"; "results"; "0"; "locations"; "0"; "physicalLocation";
+         "region"; "startLine";
+       ]
+       doc
+   with
+  | Some (J.Int 43) -> ()
+  | _ -> Alcotest.fail "startLine");
+  (* 0-based finding column becomes 1-based SARIF column; line 0
+     (config-level findings) clamps to 1. *)
+  (match
+     get
+       [
+         "runs"; "0"; "results"; "0"; "locations"; "0"; "physicalLocation";
+         "region"; "startColumn";
+       ]
+       doc
+   with
+  | Some (J.Int 66) -> ()
+  | _ -> Alcotest.fail "startColumn");
+  (match
+     get
+       [
+         "runs"; "0"; "results"; "1"; "locations"; "0"; "physicalLocation";
+         "region"; "startLine";
+       ]
+       doc
+   with
+  | Some (J.Int 1) -> ()
+  | _ -> Alcotest.fail "clamped startLine");
+  match get [ "runs"; "0"; "tool"; "driver"; "rules" ] doc with
+  | Some (J.List rules) ->
+      check Alcotest.int "all rules documented"
+        (List.length Sarif.rule_meta)
+        (List.length rules)
+  | _ -> Alcotest.fail "rules array"
+
+(* ------------------------------------------------------------------ *)
+(* Baseline staleness                                                  *)
+
+let test_stale_entries () =
+  let live = Finding.v ~rule:"C1" ~file:"examples/q.ml" ~line:3 "boom" in
+  let dead = Finding.v ~rule:"L4" ~file:"lib/gone.ml" ~line:9 "old debt" in
+  let findings = [ { live with Finding.line = 30 } ] in
+  let stale = Driver.stale_entries ~baseline:[ live; dead ] findings in
+  check (Alcotest.list finding_t) "only the unmatched entry is stale"
+    [ dead ] stale;
+  check (Alcotest.list finding_t) "empty baseline is never stale" []
+    (Driver.stale_entries ~baseline:[] findings)
+
+(* The CLI gate end to end: a baseline entry nothing matches makes lint
+   exit 3 even though there are no fresh findings. Exercised against the
+   real tree (which doubles as the in-tree zero-findings dogfood). *)
+let cli_setup () =
+  if Sys.file_exists "../bin/fbufs_cli.exe" then
+    Some ("../bin/fbufs_cli.exe", "..")
+  else if Sys.file_exists "_build/default/bin/fbufs_cli.exe" then
+    Some ("_build/default/bin/fbufs_cli.exe", "_build/default")
+  else None
+
+let test_cli_tree_clean_and_staleness_gate () =
+  match cli_setup () with
+  | None -> Alcotest.skip ()
+  | Some (exe, root) ->
+      let quiet = " > /dev/null 2> /dev/null" in
+      check Alcotest.int "clean tree exits 0" 0
+        (Sys.command
+           (Printf.sprintf "%s lint --format json --root %s%s" exe root quiet));
+      let tmp = Filename.temp_file "stale_baseline" ".json" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+        (fun () ->
+          let oc = open_out tmp in
+          output_string oc
+            (Fbufs_trace.Json.to_string
+               (Finding.list_to_json
+                  [
+                    Finding.v ~rule:"L4" ~file:"lib/gone.ml" ~line:9
+                      "grandfathered debt that no longer fires";
+                  ]));
+          close_out oc;
+          check Alcotest.int "stale baseline exits 3" 3
+            (Sys.command
+               (Printf.sprintf "%s lint --format text --baseline %s --root %s%s"
+                  exe tmp root quiet)))
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic cross-validation: the hazard shapes Layer C flagged in-tree
+   (quickstart's C1/C3/C4, before they were fixed or annotated) are
+   replayed through the differential checker. A passing replay means the
+   real stack and the reference model agree step by step on the hazard's
+   dynamic semantics — the use-after-free is defended, the in-flight
+   write is visible pre-secure, the post-secure write faults — i.e. the
+   static findings describe real dynamic behavior, not analyzer
+   artifacts. *)
+
+let replay_concordant name ops =
+  let report = Fbufs_check.Driver.replay ~seed:1 ops in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: stack and model agree (%s)" name
+       (Format.asprintf "%a" Fbufs_check.Driver.pp_report report))
+    false
+    (Fbufs_check.Driver.failed report);
+  check Alcotest.int
+    (Printf.sprintf "%s: every op executed" name)
+    report.Fbufs_check.Driver.total report.Fbufs_check.Driver.executed
+
+let test_replay_use_after_free () =
+  (* quickstart's C1: both domains free, then the old handle is touched.
+     The plain (uncached) allocator on the b->c path is the one whose
+     full release actually kills the buffer — a cached free only parks
+     it, leaving no dead address range to probe. *)
+  replay_concordant "use after free"
+    Fbufs_check.Op.
+      [
+        Alloc { alloc = 3; npages = 1 };
+        Write { fbuf = 0 };
+        Send { fbuf = 0; src = 1; dst = 2 };
+        Secure { fbuf = 0 };
+        Read { fbuf = 0; dom = 2 };
+        Free { fbuf = 0; dom = 2 };
+        Free { fbuf = 0; dom = 1 };
+        Use_after_free { fbuf = 0; write = false };
+      ]
+
+let test_replay_write_after_send () =
+  (* quickstart's C3: the originator rewrites the volatile fbuf while it
+     is in flight — allowed by protection pre-secure, which is exactly
+     why it is a discipline hazard: the receiver's two reads straddle the
+     write. (Post-secure the write faults; the checker's protection
+     invariant asserts that after every step, and quickstart demonstrates
+     it dynamically.) *)
+  replay_concordant "write after send"
+    Fbufs_check.Op.
+      [
+        Alloc { alloc = 0; npages = 1 };
+        Write { fbuf = 0 };
+        Send { fbuf = 0; src = 0; dst = 1 };
+        Read { fbuf = 0; dom = 1 };
+        Write { fbuf = 0 };
+        Secure { fbuf = 0 };
+        Read { fbuf = 0; dom = 1 };
+        Free { fbuf = 0; dom = 1 };
+        Free { fbuf = 0; dom = 0 };
+      ]
+
+let test_replay_read_before_secure () =
+  (* quickstart's C4: the receiver reads the volatile fbuf before
+     securing, the originator rewrites it, the receiver reads again —
+     the torn-read hazard the paper's secure step exists to close. *)
+  replay_concordant "read before secure"
+    Fbufs_check.Op.
+      [
+        Alloc { alloc = 0; npages = 1 };
+        Write { fbuf = 0 };
+        Send { fbuf = 0; src = 0; dst = 1 };
+        Read { fbuf = 0; dom = 1 };
+        Write { fbuf = 0 };
+        Read { fbuf = 0; dom = 1 };
+        Secure { fbuf = 0 };
+        Read { fbuf = 0; dom = 1 };
+        Free { fbuf = 0; dom = 1 };
+        Free { fbuf = 0; dom = 0 };
+      ]
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "lint"
@@ -414,5 +842,55 @@ let () =
           tc "round trip" `Quick test_json_round_trip;
           tc "baseline ignores line" `Quick test_baseline_matches_ignoring_line;
           tc "malformed baseline" `Quick test_malformed_baseline_rejected;
+        ] );
+      ( "layer-c-bad",
+        [
+          tc "C1 cross-function use after free" `Quick
+            test_c1_cross_function_use_after_free;
+          tc "C1 double free" `Quick test_c1_double_free;
+          tc "C2 leak through helper" `Quick test_c2_leak_through_helper;
+          tc "C3 write after send via alias" `Quick
+            test_c3_write_after_send_via_alias;
+          tc "C3 write after send via helper" `Quick
+            test_c3_write_after_send_via_helper;
+          tc "C3 direct write after send" `Quick
+            test_c3_direct_write_after_send;
+          tc "C4 read before secure via helper" `Quick
+            test_c4_read_before_secure_via_helper;
+        ] );
+      ( "layer-c-clean",
+        [
+          tc "hand-off to a freeing helper" `Quick
+            test_c_clean_handoff_to_helper;
+          tc "rx handler lambda" `Quick test_c_clean_rx_handler_lambda;
+          tc "returned handle" `Quick test_c_clean_returned_handle;
+          tc "two-domain free" `Quick test_c_clean_two_domain_free;
+          tc "branchy free stays L4's" `Quick
+            test_c_clean_branchy_free_is_l4_territory;
+          tc "allow annotation" `Quick test_c_allow_annotation_suppresses;
+        ] );
+      ( "dedup",
+        [
+          tc "L4 shadowed by C2" `Quick test_dedup_l4_shadowed_by_c2;
+          tc "distinct spans survive" `Quick test_dedup_keeps_distinct_spans;
+        ] );
+      ( "summaries",
+        [ QCheck_alcotest.to_alcotest prop_summary_fixpoint ] );
+      ( "sarif",
+        [ tc "document shape" `Quick test_sarif_shape ] );
+      ( "staleness",
+        [
+          tc "stale entries detected" `Quick test_stale_entries;
+          tc "CLI gate: clean tree, stale baseline" `Slow
+            test_cli_tree_clean_and_staleness_gate;
+        ] );
+      ( "cross-validation",
+        [
+          tc "use after free replays concordantly" `Slow
+            test_replay_use_after_free;
+          tc "write after send replays concordantly" `Slow
+            test_replay_write_after_send;
+          tc "read before secure replays concordantly" `Slow
+            test_replay_read_before_secure;
         ] );
     ]

@@ -282,6 +282,9 @@ let in_tree rel =
   if Sys.file_exists ("../" ^ rel) then "../" ^ rel else rel
 
 let test_lint_not_linked_into_bench () =
+  (* Layer C reads *sources* across the whole tree, which must never
+     tempt anyone to link the analyzer library into what it analyzes:
+     the benchmark, the harness it is built from, or the examples. *)
   List.iter
     (fun dune_file ->
       let src = read_file (in_tree dune_file) in
@@ -289,7 +292,7 @@ let test_lint_not_linked_into_bench () =
         (Printf.sprintf "%s does not link fbufs_lint" dune_file)
         false
         (contains src "fbufs_lint"))
-    [ "bench/dune"; "lib/harness/dune" ]
+    [ "bench/dune"; "lib/harness/dune"; "examples/dune" ]
 
 (* Same isolation for the policy layer: the benchmark measures the bare
    mechanism, so the policy library (admission hooks, event log) must
@@ -304,6 +307,30 @@ let test_policy_not_linked_into_bench () =
         false
         (contains src "fbufs_policy"))
     [ "bench/dune"; "lib/harness/dune" ]
+
+(* The interprocedural layer re-analyzes the whole tree on every lint
+   run (parse, call graph, SCC fixpoint, abstract interpretation), so a
+   quadratic blowup in the fixpoint or resolver would land here first.
+   The bound is a deliberately generous absolute ceiling — the analysis
+   currently finishes in well under a second — asserted on the median of
+   five runs so one cold page cache cannot decide the verdict. *)
+let lint_budget_s = 20.0
+
+let test_whole_tree_lint_within_budget () =
+  match Fbufs_lint.Driver.find_root () with
+  | None -> Alcotest.skip ()
+  | Some root ->
+      let samples = ref [] in
+      for _ = 1 to trials do
+        let t0 = Unix.gettimeofday () in
+        let (_ : Fbufs_lint.Finding.t list) = Fbufs_lint.Driver.run ~root in
+        samples := (Unix.gettimeofday () -. t0) :: !samples
+      done;
+      let m = median !samples in
+      Alcotest.(check bool)
+        (Printf.sprintf "median whole-tree lint %.2fs within %.0fs budget" m
+           lint_budget_s)
+        true (m < lint_budget_s)
 
 let () =
   Alcotest.run "perf_guard"
@@ -340,5 +367,10 @@ let () =
             test_lint_not_linked_into_bench;
           Alcotest.test_case "policy stays off the hot path" `Quick
             test_policy_not_linked_into_bench;
+        ] );
+      ( "lint runtime",
+        [
+          Alcotest.test_case "whole-tree lint within budget" `Slow
+            test_whole_tree_lint_within_budget;
         ] );
     ]
