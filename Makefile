@@ -1,4 +1,4 @@
-.PHONY: all build test check lint model-check bench bench-json stats spans bench-diff ablation-tlb ablation-policy clean
+.PHONY: all build test check lint model-check bench bench-json stats spans bench-diff bench-trend top clean ablation-tlb ablation-policy
 
 all: build
 
@@ -31,10 +31,10 @@ bench:
 
 # Full-quota benchmark run that also writes the machine-readable
 # trajectory (one JSON object per benchmark: name, ns_per_run, r_square,
-# date). BENCH_PR8.json is the committed snapshot for this PR;
-# BENCH_PR7.json is the previous one the regression gate diffs against.
+# date). BENCH_PR10.json is the committed snapshot for this PR;
+# BENCH_PR8.json is the previous one the regression gate diffs against.
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_PR8.json
+	dune exec bench/main.exe -- --json BENCH_PR10.json
 
 # Per-component cost attribution of a Table 1 run (simulated
 # microseconds charged to alloc/map/unmap/tlb_flush/zero/secure/copy/...),
@@ -55,7 +55,23 @@ spans:
 # were collected on the same machine with make bench-json, so the deltas
 # are meaningful; 50% tolerance absorbs scheduler noise on ~ms runs.
 bench-diff:
-	dune exec bin/fbufs_cli.exe -- bench-diff BENCH_PR7.json BENCH_PR8.json --tolerance-pct 50
+	dune exec bin/fbufs_cli.exe -- bench-diff BENCH_PR8.json BENCH_PR10.json --tolerance-pct 50
+
+# The whole-series trend gate: every committed snapshot in chronological
+# order, per-benchmark OLS slope and two-segment changepoint. Fails when
+# any benchmark's post-changepoint mean exceeds the pre-changepoint mean
+# by more than tolerance, or a benchmark disappears from the latest
+# snapshot — a slow drift the pairwise diff cannot see.
+bench-trend:
+	dune exec bin/fbufs_cli.exe -- bench-trend BENCH_PR2.json BENCH_PR4.json \
+	  BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json BENCH_PR8.json \
+	  BENCH_PR10.json --tolerance-pct 50 --json bench-trend.json
+
+# Periodic snapshot frames of a Table 1 run on the simulated timeline:
+# throughput counters with per-interval deltas, drops, cost shares and
+# transfer-wall quantiles, one frame per simulated 50 ms.
+top:
+	dune exec bin/fbufs_cli.exe -- top table1 --interval-us 50000
 
 # TLB shootdown deferral/elision ablation: the on/off comparison table,
 # plus a folded-stack rendering of a Table 1 run in both modes and their

@@ -117,17 +117,65 @@ let spans_file =
   in
   Arg.(value & opt (some string) None & info [ "spans" ] ~doc ~docv:"FILE")
 
+let record_dir =
+  let doc =
+    "Arm the flight recorder: bounded rings over recent trace events and \
+     head-sampled transfers, a seeded weighted event reservoir, and \
+     online invariant monitors at sequence points. Anomalies (monitor \
+     violations, policy drop spikes) write a post-mortem dump (JSONL, \
+     Chrome trace, span JSONL, meta) under $(docv)."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "postmortem") (some string) None
+    & info [ "record" ] ~doc ~docv:"DIR")
+
+let dump_on_exit_flag =
+  let doc =
+    "With the recorder armed, always write a final post-mortem dump when \
+     the run ends, bypassing the debounce and dump cap (implies \
+     $(b,--record) with its default directory)."
+  in
+  Arg.(value & flag & info [ "dump-on-exit" ] ~doc)
+
+(* Recorder arming sits innermost so it can tap sinks the outer wrappers
+   installed (or install its own ring when a layer is absent); machines
+   are created inside [f], after the monitors' sequence-point hook is in
+   place. *)
+let with_recorder ?dir ~dump_on_exit f =
+  match (dir, dump_on_exit) with
+  | None, false -> f ()
+  | _ ->
+      let module O = Fbufs_obs in
+      let config =
+        {
+          O.Recorder.default with
+          O.Recorder.dir =
+            Option.value dir ~default:O.Recorder.default.O.Recorder.dir;
+        }
+      in
+      let r = O.Recorder.create config in
+      let mon = O.Monitor.create ~recorder:r O.Monitor.default in
+      O.Recorder.with_armed r (fun () ->
+          O.Monitor.with_installed mon (fun () ->
+              let x = f () in
+              if dump_on_exit then
+                ignore (O.Recorder.trigger ~force:true r ~reason:"exit");
+              x))
+
 (* Wrap an experiment term so tracing, metering and span recording cover
    exactly its run. Spans sit innermost so their post-run export can
    observe transfer walls into the still-installed metrics instance. *)
 let traced term =
-  let wrap chrome jsonl metrics spans f =
+  let wrap chrome jsonl metrics spans record dump_on_exit f =
     H.Tracing.with_trace ?chrome ?jsonl (fun () ->
         H.Metrics_run.with_metrics ?file:metrics (fun () ->
-            H.Spans_run.with_spans ?jsonl:spans f))
+            H.Spans_run.with_spans ?jsonl:spans (fun () ->
+                with_recorder ?dir:record ~dump_on_exit f)))
   in
   Term.(
-    const wrap $ trace_file $ jsonl_file $ metrics_file $ spans_file $ term)
+    const wrap $ trace_file $ jsonl_file $ metrics_file $ spans_file
+    $ record_dir $ dump_on_exit_flag $ term)
 
 let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
 
@@ -292,7 +340,16 @@ let check_cmd =
     let doc = "On failure, also write the shrunk counterexample to $(docv)." in
     Arg.(value & opt (some string) None & info [ "out" ] ~doc ~docv:"FILE")
   in
-  let run seeds ops adversary quick out =
+  let record =
+    let doc =
+      "Arm the flight recorder for the checked runs: documented refusals \
+       (and any divergence raised while expecting one) trigger debounced \
+       post-mortem dumps under $(docv), and a final dump is always \
+       written when the runs finish."
+    in
+    Arg.(value & opt (some string) None & info [ "record" ] ~doc ~docv:"DIR")
+  in
+  let run seeds ops adversary quick out record =
     let seeds =
       match seeds with [] -> if quick then [ 1; 2; 3 ] else [ 1 ] | l -> l
     in
@@ -301,7 +358,7 @@ let check_cmd =
       if quick then List.concat_map (fun s -> [ (s, false); (s, true) ]) seeds
       else List.map (fun s -> (s, adversary)) seeds
     in
-    let failures =
+    let run_jobs () =
       List.filter_map
         (fun (seed, adversary) ->
           let o = Fbufs_check.run_seed ~seed ~ops ~adversary in
@@ -309,6 +366,29 @@ let check_cmd =
           if Fbufs_check.Driver.failed o.Fbufs_check.report then Some o
           else None)
         jobs
+    in
+    let failures =
+      match record with
+      | None -> run_jobs ()
+      | Some dir ->
+          let module O = Fbufs_obs in
+          let r =
+            O.Recorder.create { O.Recorder.default with O.Recorder.dir }
+          in
+          Fbufs_check.Driver.refusal_hook :=
+            Some
+              (fun what ->
+                O.Recorder.note r ~kind:"check.refusal"
+                  ~args:[ ("op", Fbufs_trace.Trace.Str what) ]
+                  ();
+                ignore (O.Recorder.trigger r ~reason:("refusal:" ^ what)));
+          Fun.protect
+            ~finally:(fun () -> Fbufs_check.Driver.refusal_hook := None)
+            (fun () ->
+              O.Recorder.with_armed r (fun () ->
+                  let failures = run_jobs () in
+                  ignore (O.Recorder.trigger ~force:true r ~reason:"exit");
+                  failures))
     in
     match failures with
     | [] -> ()
@@ -328,7 +408,7 @@ let check_cmd =
          "Differential check of the fbuf stack against its reference model \
           (randomized operation sequences; failures shrink to a minimal \
           replayable sequence)")
-    Term.(const run $ seeds $ ops $ adversary $ quick $ out)
+    Term.(const run $ seeds $ ops $ adversary $ quick $ out $ record)
 
 let lint_cmd =
   let format =
@@ -432,35 +512,77 @@ let lint_cmd =
           interpretation of the declarative data-path specs")
     Term.(const run $ format $ baseline $ out $ root)
 
-let stats_cmd =
-  let experiment =
-    let exp_conv =
-      Arg.conv
-        ( (function
-          | "table1" -> Ok `Table1
-          | "remap" -> Ok `Remap
-          | "fig3" -> Ok `Fig3
-          | "fig4" -> Ok `Fig4
-          | "fig5" -> Ok `Fig5
-          | "fig6" -> Ok `Fig6
-          | "all" -> Ok `All
-          | _ ->
-              Error
-                (`Msg "expected table1, remap, fig3, fig4, fig5, fig6 or all")),
-          fun ppf e ->
-            Format.pp_print_string ppf
-              (match e with
-              | `Table1 -> "table1"
-              | `Remap -> "remap"
-              | `Fig3 -> "fig3"
-              | `Fig4 -> "fig4"
-              | `Fig5 -> "fig5"
-              | `Fig6 -> "fig6"
-              | `All -> "all") )
-    in
-    let doc = "Experiment to meter (table1, remap, fig3..fig6, all)." in
-    Arg.(value & pos 0 exp_conv `Table1 & info [] ~doc ~docv:"EXPERIMENT")
+let exp_conv =
+  Arg.conv
+    ( (function
+      | "table1" -> Ok `Table1
+      | "remap" -> Ok `Remap
+      | "fig3" -> Ok `Fig3
+      | "fig4" -> Ok `Fig4
+      | "fig5" -> Ok `Fig5
+      | "fig6" -> Ok `Fig6
+      | "all" -> Ok `All
+      | _ ->
+          Error
+            (`Msg "expected table1, remap, fig3, fig4, fig5, fig6 or all")),
+      fun ppf e ->
+        Format.pp_print_string ppf
+          (match e with
+          | `Table1 -> "table1"
+          | `Remap -> "remap"
+          | `Fig3 -> "fig3"
+          | `Fig4 -> "fig4"
+          | `Fig5 -> "fig5"
+          | `Fig6 -> "fig6"
+          | `All -> "all") )
+
+let experiment_arg =
+  let doc = "Experiment to meter (table1, remap, fig3..fig6, all)." in
+  Arg.(value & pos 0 exp_conv `Table1 & info [] ~doc ~docv:"EXPERIMENT")
+
+let run_experiment experiment zero =
+  match experiment with
+  | `Table1 -> table1 zero
+  | `Remap -> remap ()
+  | `Fig3 -> fig3 ()
+  | `Fig4 -> fig4 ()
+  | `Fig5 -> fig5 ()
+  | `Fig6 -> fig6 ()
+  | `All -> all zero
+
+(* [stats --watch] and [top] share this: a Top renderer driven by the
+   machine tick hook, framing at fixed simulated intervals. *)
+let with_top ~interval_us f =
+  let own_mx, metrics =
+    match !Fbufs_sim.Machine.default_metrics with
+    | Some mx -> (false, mx)
+    | None ->
+        let mx = Fbufs_metrics.Metrics.create () in
+        Fbufs_sim.Machine.default_metrics := Some mx;
+        (true, mx)
   in
+  let own_spans, sink =
+    match !Fbufs_sim.Machine.default_spans with
+    | Some s -> (false, s)
+    | None ->
+        let s = Fbufs_span.Span.create () in
+        Fbufs_sim.Machine.default_spans := Some s;
+        (true, s)
+  in
+  let top = Fbufs_obs.Top.create ~interval_us ~metrics () in
+  Fun.protect
+    ~finally:(fun () ->
+      if own_mx then Fbufs_sim.Machine.default_metrics := None;
+      if own_spans then Fbufs_sim.Machine.default_spans := None)
+    (fun () ->
+      let r = Fbufs_obs.Top.with_installed top f in
+      (* With our own span sink, fold wall times into the sketch so the
+         closing frame can print transfer quantiles. *)
+      if own_spans then H.Spans_run.roll_transfer_walls metrics sink;
+      Fbufs_obs.Top.final top;
+      r)
+
+let stats_cmd =
   let folded =
     let doc =
       "Write collapsed flamegraph stacks (machine;component;kind ns) to \
@@ -468,18 +590,24 @@ let stats_cmd =
     in
     Arg.(value & opt (some string) None & info [ "folded" ] ~doc ~docv:"FILE")
   in
-  let run experiment zero no_elision metrics folded =
+  let watch =
+    let doc =
+      "Re-emit a snapshot frame (counters with deltas, gauges, cost \
+       shares) every $(docv) simulated microseconds while the experiment \
+       runs, plus a closing frame — periodic observation on the simulated \
+       clock, deterministic run to run."
+    in
+    Arg.(value & opt (some float) None & info [ "watch" ] ~doc ~docv:"US")
+  in
+  let run experiment zero no_elision metrics folded watch =
     with_elision no_elision (fun () ->
         H.Metrics_run.with_metrics ?file:metrics ?folded ~summary:true
           (fun () ->
-            match experiment with
-            | `Table1 -> table1 zero
-            | `Remap -> remap ()
-            | `Fig3 -> fig3 ()
-            | `Fig4 -> fig4 ()
-            | `Fig5 -> fig5 ()
-            | `Fig6 -> fig6 ()
-            | `All -> all zero))
+            match watch with
+            | Some interval_us ->
+                with_top ~interval_us (fun () ->
+                    run_experiment experiment zero)
+            | None -> run_experiment experiment zero))
   in
   Cmd.v
     (Cmd.info "stats"
@@ -488,8 +616,80 @@ let stats_cmd =
           the per-component cost-attribution breakdown (the component \
           column sums exactly to the run's total charged simulated time)")
     Term.(
-      const run $ experiment $ zero_flag $ no_elision_flag $ metrics_file
-      $ folded)
+      const run $ experiment_arg $ zero_flag $ no_elision_flag $ metrics_file
+      $ folded $ watch)
+
+let top_cmd =
+  let interval =
+    let doc = "Frame interval in simulated microseconds." in
+    Arg.(value & opt float 1_000_000.0 & info [ "interval-us" ] ~doc ~docv:"US")
+  in
+  let run experiment zero no_elision interval =
+    with_elision no_elision (fun () ->
+        with_top ~interval_us:interval (fun () ->
+            run_experiment experiment zero))
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Run an experiment with periodic snapshot frames on the simulated \
+          timeline: throughput and drop counters with per-interval deltas, \
+          held pages vs threshold, TLB shootdowns/elisions, per-component \
+          cost shares from the ledger and transfer-wall quantiles from the \
+          sketch")
+    Term.(
+      const run $ experiment_arg $ zero_flag $ no_elision_flag $ interval)
+
+let bench_trend_cmd =
+  let files =
+    let doc =
+      "Bench snapshots (JSON from bench --json) in chronological order; at \
+       least two."
+    in
+    Arg.(value & pos_all file [] & info [] ~doc ~docv:"SNAPSHOT.json")
+  in
+  let tolerance =
+    let doc =
+      "Allowed growth of the post-changepoint mean over the \
+       pre-changepoint mean, in percent."
+    in
+    Arg.(value & opt float 50.0 & info [ "tolerance-pct" ] ~doc ~docv:"PCT")
+  in
+  let json_out =
+    let doc = "Also write the machine-readable verdict as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~doc ~docv:"FILE")
+  in
+  let run files tolerance_pct json_out =
+    let module T = Fbufs_obs.Trend in
+    if List.length files < 2 then begin
+      Format.eprintf "bench-trend: need at least two snapshots@.";
+      exit 2
+    end;
+    match T.analyze ~files ~tolerance_pct with
+    | r ->
+        print_string (T.render r);
+        (match json_out with
+        | None -> ()
+        | Some file ->
+            let oc = open_out file in
+            output_string oc (Fbufs_trace.Json.to_string (T.to_json r));
+            output_string oc "\n";
+            close_out oc);
+        if r.T.failed then exit 1
+    | exception
+        ( Fbufs_metrics.Bench_diff.Bad_snapshot msg
+        | Fbufs_trace.Json.Parse_error msg ) ->
+        Format.eprintf "bench-trend: %s@." msg;
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "bench-trend"
+       ~doc:
+         "Analyze the whole committed bench-snapshot series: per-benchmark \
+          slope and changepoint detection, failing (exit 1) when any \
+          benchmark stepped up beyond the tolerance across its changepoint \
+          or disappeared from the latest snapshot")
+    Term.(const run $ files $ tolerance $ json_out)
 
 let bench_diff_cmd =
   let old_file =
@@ -552,7 +752,9 @@ let cmds =
     cmd "info" "Print the calibrated cost model" Term.(const info_cmd $ const ());
     cmd "all" "Run every experiment" (traced (thunk1 all));
     stats_cmd;
+    top_cmd;
     bench_diff_cmd;
+    bench_trend_cmd;
     trace_cmd;
     spans_cmd;
     check_cmd;

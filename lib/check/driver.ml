@@ -572,11 +572,19 @@ let refusal_name = function
   | Model.R_dead -> "Dead_fbuf"
   | Model.R_invalid -> "Invalid_argument"
 
+(* Observability tap: when the flight recorder is armed, documented
+   refusals and divergences arm/fire its post-mortem dump. *)
+let refusal_hook : (string -> unit) option ref = ref None
+let note_refusal what =
+  match !refusal_hook with Some f -> f what | None -> ()
+
 let expect_refusal what r f =
   match f () with
   | () -> fail "%s: expected %s, but it succeeded" what (refusal_name r)
-  | exception e when refusal_matches r e -> ()
-  | exception (Check_failed _ as e) -> raise e
+  | exception e when refusal_matches r e -> note_refusal what
+  | exception (Check_failed _ as e) ->
+      note_refusal what;
+      raise e
   | exception e ->
       fail "%s: expected %s, got %s" what (refusal_name r)
         (Printexc.to_string e)

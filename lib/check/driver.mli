@@ -33,3 +33,10 @@ val gen_ops : seed:int -> n:int -> adversary:bool -> Op.t list
 
 val run : seed:int -> ops:int -> adversary:bool -> report * Op.t list
 (** [gen_ops] + [replay]; returns the sequence for shrinking. *)
+
+val refusal_hook : (string -> unit) option ref
+(** Called with the op description whenever a documented refusal fires
+    (an expected [Dead_fbuf]/[Invalid_argument] observed, or a
+    divergence raised while expecting one). [None] by default; the
+    flight recorder installs itself here so adversary-mode refusals can
+    trigger a post-mortem dump. *)

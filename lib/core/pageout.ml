@@ -89,4 +89,5 @@ let balance t =
        ~args:[ ("reclaimed", Fbufs_trace.Trace.Int !reclaimed) ]
        sp
    else Machine.span_end m sp);
+  Machine.seq_point m "pageout.balance";
   !reclaimed

@@ -60,7 +60,8 @@ let secure fb =
   (* Securing is a protection barrier: any deferred shootdowns must land
      before the immutability promise can be relied on. *)
   Tlb_sync.drain fb.Fbuf.m;
-  if not fb.Fbuf.secured then protect_originator fb
+  if not fb.Fbuf.secured then protect_originator fb;
+  Machine.seq_point fb.Fbuf.m "transfer.secure"
 
 let is_secured (fb : Fbuf.t) = fb.Fbuf.secured
 

@@ -36,6 +36,13 @@ let export_chrome sink path =
 let print_report ?top sink =
   Critical.print_report Format.std_formatter ?top sink
 
+let roll_transfer_walls mx sink =
+  List.iter
+    (fun (tr : Span.transfer) ->
+      let s = Critical.analyze sink tr in
+      Mx.observe mx transfer_wall ~labels:[ tr.Span.label ] s.Critical.wall_us)
+    (Span.transfers sink)
+
 let with_spans ?jsonl ?chrome ?(summary = false) ?top f =
   match (jsonl, chrome, summary) with
   | None, None, false -> f ()
@@ -51,13 +58,7 @@ let with_spans ?jsonl ?chrome ?(summary = false) ?top f =
          transfer label. *)
       (match !Machine.default_metrics with
       | None -> ()
-      | Some mx ->
-          List.iter
-            (fun (tr : Span.transfer) ->
-              let s = Critical.analyze sink tr in
-              Mx.observe mx transfer_wall ~labels:[ tr.Span.label ]
-                s.Critical.wall_us)
-            (Span.transfers sink));
+      | Some mx -> roll_transfer_walls mx sink);
       Option.iter (export_jsonl sink) jsonl;
       Option.iter (export_chrome sink) chrome;
       if summary then print_report ?top sink;

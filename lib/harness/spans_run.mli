@@ -27,6 +27,12 @@ val with_spans :
 val print_report : ?top:int -> Fbufs_span.Span.t -> unit
 (** Print the critical-path report to stdout. *)
 
+val roll_transfer_walls : Fbufs_metrics.Metrics.t -> Fbufs_span.Span.t -> unit
+(** Observe each of the sink's transfer wall times into the
+    [fbufs_transfer_wall_us] sketch of the given registry (what
+    {!with_spans} does automatically when a metrics instance is
+    installed around it). *)
+
 val export_jsonl : Fbufs_span.Span.t -> string -> unit
 (** Write span trees as JSONL; I/O errors are reported on stderr. *)
 

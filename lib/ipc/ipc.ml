@@ -243,4 +243,7 @@ let call c msg ~handler =
     process_pending c
   end;
   Machine.span_end c.m sp;
-  Machine.span_exit c.m csp
+  Machine.span_exit c.m csp;
+  (* The reply delivered and its deferred notices processed: a sequence
+     point where cross-domain state is expected consistent. *)
+  Machine.seq_point c.m "ipc.reply"

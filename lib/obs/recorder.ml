@@ -1,0 +1,286 @@
+module Machine = Fbufs_sim.Machine
+module Trace = Fbufs_trace.Trace
+module Chrome = Fbufs_trace.Chrome
+module Json = Fbufs_trace.Json
+module Span = Fbufs_span.Span
+module Span_export = Fbufs_span.Span_export
+module Mx = Fbufs_metrics.Metrics
+
+type config = {
+  seed : int;
+  event_capacity : int;
+  reservoir : int;
+  span_capacity : int;
+  span_denom : int;
+  debounce_us : float;
+  max_dumps : int;
+  dir : string;
+  gc_minor_words : int;
+      (* Nursery size (words) to guarantee while armed; 0 leaves the GC
+         alone. The recorder's churn — event records on the slow paths,
+         boxed floats at emission calls — otherwise raises the minor-GC
+         rate of the host run; a pre-sized nursery absorbs it the same
+         way flight recorders pre-size their arenas. Restored on
+         disarm. *)
+}
+
+let default =
+  {
+    seed = 1;
+    event_capacity = 4096;
+    reservoir = 256;
+    span_capacity = 64;
+    span_denom = 1;
+    debounce_us = 10_000.0;
+    max_dumps = 4;
+    dir = "postmortem";
+    gc_minor_words = 8_000_000;
+  }
+
+let dumps_total =
+  Mx.counter ~name:"fbufs_obs_dumps_total"
+    ~help:"Post-mortem dumps written by the flight recorder"
+    ~labels:[ "reason" ] ()
+
+let suppressed_total =
+  Mx.counter ~name:"fbufs_obs_dump_suppressed_total"
+    ~help:"Dump triggers suppressed by the debounce window or the dump cap"
+    ~labels:[ "reason" ] ()
+
+type t = {
+  config : config;
+  head : Sample.Head.t;
+  res : Trace.event Sample.Reservoir.t;
+  roots : Span.transfer Ring.t;
+  mutable trace : Trace.t option;  (* sink being tapped while armed *)
+  mutable spans : Span.t option;
+  mutable own_trace : bool;  (* we installed the default; uninstall on disarm *)
+  mutable own_spans : bool;
+  mutable armed : bool;
+  mutable last_ts : float; (* span-side; merge with the trace via [last_ts t] *)
+  mutable seen0 : int; (* events already in the trace when we armed *)
+  mutable roots_seen : int;
+  mutable roots_kept : int;
+  mutable dumps : int;
+  mutable suppressed : int;
+  mutable last_dump_ts : float;
+  mutable saved_minor : int; (* nursery size to restore on disarm; 0 = none *)
+}
+
+let create config =
+  {
+    config;
+    head = Sample.Head.create ~seed:config.seed ~denom:config.span_denom;
+    res = Sample.Reservoir.create ~seed:(config.seed + 1) ~k:config.reservoir;
+    roots = Ring.create ~capacity:config.span_capacity;
+    trace = None;
+    spans = None;
+    own_trace = false;
+    own_spans = false;
+    armed = false;
+    last_ts = 0.0;
+    seen0 = 0;
+    roots_seen = 0;
+    roots_kept = 0;
+    dumps = 0;
+    suppressed = 0;
+    last_dump_ts = Float.neg_infinity;
+    saved_minor = 0;
+  }
+
+(* Per-event work is a skip-budget decrement inside the trace (one
+   float subtract + compare in the steady state); the event record is
+   only materialized on reservoir acceptance. Counters and timestamps
+   come from the trace itself, so the recorder adds no per-event
+   bookkeeping of its own. *)
+let sampler t =
+  {
+    Trace.skip = [| 0.0 |];
+    accept = (fun ev w -> Sample.Reservoir.accept_weighted t.res ~weight:w ev);
+  }
+
+let pushed tr = Trace.event_count tr + Trace.dropped tr
+
+let events_seen t =
+  match t.trace with Some tr -> pushed tr - t.seen0 | None -> 0
+
+let last_ts t =
+  match t.trace with
+  | Some tr -> Float.max t.last_ts (Trace.last_ts tr)
+  | None -> t.last_ts
+
+let root_path (tr : Span.transfer) =
+  (* The root span was recorded first; [spans] is newest-first. *)
+  match List.rev tr.Span.spans with
+  | (sp : Span.span) :: _ when sp.Span.id = tr.Span.root -> sp.Span.path_id
+  | _ -> 0
+
+let span_tap t (tr : Span.transfer) =
+  t.roots_seen <- t.roots_seen + 1;
+  if tr.Span.t_start_us > t.last_ts then t.last_ts <- tr.Span.t_start_us;
+  let keep =
+    Sample.Head.keep t.head ~path:(root_path tr) ~label:tr.Span.label
+  in
+  if keep then begin
+    t.roots_kept <- t.roots_kept + 1;
+    match Ring.push t.roots tr with
+    | Some evicted when t.own_spans -> (
+        match t.spans with
+        | Some s -> Span.forget s evicted.Span.tid
+        | None -> ())
+    | Some _ | None -> ()
+  end
+  else if t.own_spans then
+    match t.spans with Some s -> Span.forget s tr.Span.tid | None -> ()
+
+let arm t =
+  if not t.armed then begin
+    t.armed <- true;
+    (let cur = (Gc.get ()).Gc.minor_heap_size in
+     if t.config.gc_minor_words > cur then begin
+       t.saved_minor <- cur;
+       Gc.set { (Gc.get ()) with Gc.minor_heap_size = t.config.gc_minor_words }
+     end);
+    (match !Machine.default_trace with
+    | Some tr -> t.trace <- Some tr
+    | None ->
+        let tr =
+          Trace.create ~ring:true ~latency:false
+            ~capacity:t.config.event_capacity ()
+        in
+        t.trace <- Some tr;
+        t.own_trace <- true;
+        Machine.default_trace := Some tr);
+    (match t.trace with
+    | Some tr ->
+        t.seen0 <- pushed tr;
+        Trace.set_sampler tr (Some (sampler t))
+    | None -> ());
+    (match !Machine.default_spans with
+    | Some s -> t.spans <- Some s
+    | None ->
+        let s = Span.create () in
+        t.spans <- Some s;
+        t.own_spans <- true;
+        Machine.default_spans := Some s);
+    match t.spans with
+    | Some s -> Span.set_tap s (Some (span_tap t))
+    | None -> ()
+  end
+
+let disarm t =
+  if t.armed then begin
+    t.armed <- false;
+    if t.saved_minor > 0 then begin
+      Gc.set { (Gc.get ()) with Gc.minor_heap_size = t.saved_minor };
+      t.saved_minor <- 0
+    end;
+    (match t.trace with Some tr -> Trace.set_sampler tr None | None -> ());
+    (match t.spans with Some s -> Span.set_tap s None | None -> ());
+    if t.own_trace then Machine.default_trace := None;
+    if t.own_spans then Machine.default_spans := None;
+    t.own_trace <- false;
+    t.own_spans <- false
+  end
+
+let with_armed t f =
+  arm t;
+  Fun.protect ~finally:(fun () -> disarm t) f
+
+let note t ~kind ?(args = []) () =
+  if t.armed then
+    match t.trace with
+    | Some tr ->
+        Trace.instant tr ~ts_us:(last_ts t) ~machine:"obs" ~args kind
+    | None -> ()
+
+(* -- dumps -------------------------------------------------------------- *)
+
+let tail n l =
+  let len = List.length l in
+  if len <= n then l else List.filteri (fun i _ -> i >= len - n) l
+
+let jsonl_of_events evs =
+  let buf = Buffer.create 65536 in
+  List.iter
+    (fun ev ->
+      Buffer.add_string buf (Json.to_string (Chrome.jsonl_event ev));
+      Buffer.add_char buf '\n')
+    evs;
+  Buffer.contents buf
+
+let meta_json t ~reason =
+  Json.Obj
+    [
+      ("reason", Json.String reason);
+      ("ts_us", Json.Float (last_ts t));
+      ("seed", Json.Int t.config.seed);
+      ("span_denom", Json.Int t.config.span_denom);
+      ("events_seen", Json.Int (events_seen t));
+      ("roots_seen", Json.Int t.roots_seen);
+      ("roots_kept", Json.Int t.roots_kept);
+      ("reservoir_accepts", Json.Int (Sample.Reservoir.offered t.res));
+      ("dumps", Json.Int t.dumps);
+      ("suppressed", Json.Int t.suppressed);
+    ]
+
+let render_dump t ~reason =
+  let events, chrome =
+    match t.trace with
+    | Some tr ->
+        ( jsonl_of_events (tail t.config.event_capacity (Trace.events tr)),
+          Chrome.to_string tr )
+    | None -> ("", "{\"traceEvents\":[]}")
+  in
+  [
+    ("events.jsonl", events);
+    ("chrome.json", chrome);
+    ("sampled.jsonl", jsonl_of_events (Sample.Reservoir.items t.res));
+    ("spans.jsonl", Span_export.jsonl_of_transfers (Ring.to_list t.roots));
+    ("meta.json", Json.to_string (meta_json t ~reason));
+  ]
+
+let metric_label reason =
+  (* Keep the label set bounded: strip any per-op detail after ':'. *)
+  match String.index_opt reason ':' with
+  | Some i -> String.sub reason 0 i
+  | None -> reason
+
+let write_dump t ~reason =
+  if not (Sys.file_exists t.config.dir) then Sys.mkdir t.config.dir 0o755;
+  t.dumps <- t.dumps + 1;
+  t.last_dump_ts <- last_ts t;
+  let prefix = Printf.sprintf "postmortem-%d-" t.dumps in
+  List.iter
+    (fun (name, content) ->
+      let path = Filename.concat t.config.dir (prefix ^ name) in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc content))
+    (render_dump t ~reason);
+  match !Machine.default_metrics with
+  | Some mx -> Mx.incr mx dumps_total ~labels:[ metric_label reason ] ()
+  | None -> ()
+
+let trigger ?(force = false) t ~reason =
+  let allowed =
+    force
+    || t.dumps < t.config.max_dumps
+       && last_ts t -. t.last_dump_ts >= t.config.debounce_us
+  in
+  if allowed then begin
+    write_dump t ~reason;
+    true
+  end
+  else begin
+    t.suppressed <- t.suppressed + 1;
+    (match !Machine.default_metrics with
+    | Some mx -> Mx.incr mx suppressed_total ~labels:[ metric_label reason ] ()
+    | None -> ());
+    false
+  end
+
+let dumps t = t.dumps
+let roots_seen t = t.roots_seen
+let roots_kept t = t.roots_kept

@@ -1,0 +1,36 @@
+type 'a t = {
+  buf : 'a option array;
+  mutable len : int;
+  mutable start : int;
+  mutable pushed : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { buf = Array.make capacity None; len = 0; start = 0; pushed = 0 }
+
+let capacity t = Array.length t.buf
+let length t = t.len
+let pushed t = t.pushed
+
+let push t x =
+  t.pushed <- t.pushed + 1;
+  let cap = Array.length t.buf in
+  if t.len < cap then begin
+    t.buf.((t.start + t.len) mod cap) <- Some x;
+    t.len <- t.len + 1;
+    None
+  end
+  else begin
+    let evicted = t.buf.(t.start) in
+    t.buf.(t.start) <- Some x;
+    t.start <- (t.start + 1) mod cap;
+    evicted
+  end
+
+let to_list t =
+  let cap = Array.length t.buf in
+  List.init t.len (fun i ->
+      match t.buf.((t.start + i) mod cap) with
+      | Some x -> x
+      | None -> assert false)

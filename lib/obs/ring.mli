@@ -1,0 +1,23 @@
+(** Fixed-capacity ring over arbitrary items: pushing onto a full ring
+    evicts (and returns) the oldest item, so the ring always holds the
+    most recent [capacity] pushes in order. The flight recorder keeps
+    sampled span roots in one of these and forgets evicted transfers
+    from the sink, bounding recording memory for arbitrarily long
+    runs. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] unless [capacity] is positive. *)
+
+val push : 'a t -> 'a -> 'a option
+(** Append; returns the evicted oldest item when the ring was full. *)
+
+val to_list : 'a t -> 'a list
+(** Retained items, oldest first. *)
+
+val length : 'a t -> int
+val capacity : 'a t -> int
+
+val pushed : 'a t -> int
+(** Total pushes ever, including those since evicted. *)

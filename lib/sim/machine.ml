@@ -19,12 +19,16 @@ type t = {
   mutable spans : Fbufs_span.Span.t option;
   mutable series : Fbufs_metrics.Timeseries.t option;
   mutable comp_ctx : Fbufs_metrics.Component.t option;
+  mutable seq_hook : (t -> string -> unit) option;
+  mutable on_tick : (float -> unit) option;
 }
 
 let default_trace : Trace.t option ref = ref None
 let default_metrics : Fbufs_metrics.Metrics.t option ref = ref None
 let default_spans : Fbufs_span.Span.t option ref = ref None
 let default_series : Fbufs_metrics.Timeseries.t option ref = ref None
+let default_seq_hook : (t -> string -> unit) option ref = ref None
+let default_tick : (float -> unit) option ref = ref None
 
 let create ?(name = "host") ?(cost = Cost_model.decstation_5000_200)
     ?(nframes = 4096) ?(tlb_entries = 64) ?(seed = 42) ?trace ?metrics ?spans
@@ -46,6 +50,8 @@ let create ?(name = "host") ?(cost = Cost_model.decstation_5000_200)
     spans = (match spans with Some _ as s -> s | None -> !default_spans);
     series = (match series with Some _ as s -> s | None -> !default_series);
     comp_ctx = None;
+    seq_hook = !default_seq_hook;
+    on_tick = !default_tick;
   }
 
 let set_trace m tr = m.trace <- tr
@@ -58,6 +64,15 @@ let spanning m = m.spans <> None
 let spans m = m.spans
 let set_series m s = m.series <- s
 let series m = m.series
+let set_seq_hook m h = m.seq_hook <- h
+let set_tick m h = m.on_tick <- h
+
+(* Sequence point: a place where the system's invariants are expected to
+   hold (an IPC reply delivered, a transfer secured, a pageout sweep
+   done). The online monitors hang off this; with no hook installed the
+   cost is one pointer compare. *)
+let seq_point m site =
+  match m.seq_hook with None -> () | Some f -> f m site
 
 let with_comp m c f =
   let saved = m.comp_ctx in
@@ -71,14 +86,15 @@ let charge ?kind ?comp m us =
   let eff = match m.comp_ctx with Some _ as c -> c | None -> comp in
   (match (m.trace, kind) with
   | Some tr, Some k ->
-      let args =
+      (* [Component.label] returns a literal, so the fast path stores
+         no young pointer into the ring. *)
+      let comp =
         match eff with
-        | Some c ->
-            [ ("comp", Trace.Str (Fbufs_metrics.Component.label c)) ]
-        | None -> []
+        | Some c -> Fbufs_metrics.Component.label c
+        | None -> ""
       in
-      Trace.complete tr ~ts_us:(Clock.now m.clock) ~dur_us:us ~machine:m.name
-        ~args k
+      Trace.complete_comp tr ~ts_us:(Clock.now m.clock) ~dur_us:us
+        ~machine:m.name ~comp k
   | _ -> ());
   (match m.metrics with
   | None -> ()
@@ -98,7 +114,8 @@ let charge ?kind ?comp m us =
       Fbufs_metrics.Timeseries.tick ts ~now_us:(Clock.now m.clock) mx
   | _ -> ());
   Clock.advance m.clock us;
-  m.busy.busy_us <- m.busy.busy_us +. us
+  m.busy.busy_us <- m.busy.busy_us +. us;
+  match m.on_tick with Some f -> f (Clock.now m.clock) | None -> ()
 
 let charge_n ?kind ?comp m n us = charge ?kind ?comp m (float_of_int n *. us)
 
@@ -212,7 +229,8 @@ let elapse_to ?kind m t =
       if t > now then
         Trace.complete tr ~ts_us:now ~dur_us:(t -. now) ~machine:m.name k
   | _ -> ());
-  Clock.advance_to m.clock t
+  Clock.advance_to m.clock t;
+  match m.on_tick with Some f -> f (Clock.now m.clock) | None -> ()
 
 let now m = Clock.now m.clock
 

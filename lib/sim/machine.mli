@@ -25,6 +25,8 @@ type t = {
   mutable spans : Fbufs_span.Span.t option;
   mutable series : Fbufs_metrics.Timeseries.t option;
   mutable comp_ctx : Fbufs_metrics.Component.t option;
+  mutable seq_hook : (t -> string -> unit) option;
+  mutable on_tick : (float -> unit) option;
 }
 
 val default_trace : Fbufs_trace.Trace.t option ref
@@ -46,6 +48,16 @@ val default_spans : Fbufs_span.Span.t option ref
 val default_series : Fbufs_metrics.Timeseries.t option ref
 (** Same install pattern, for windowed gauge time series. Only sampled
     when the machine also carries a metrics instance. *)
+
+val default_seq_hook : (t -> string -> unit) option ref
+(** Same install pattern, for the {!seq_point} callback the online
+    invariant monitors hang off. [None] (the default) makes every
+    sequence point one pointer comparison. *)
+
+val default_tick : (float -> unit) option ref
+(** Same install pattern, for the clock-advance callback (called with
+    the new simulated time after every {!charge} and {!elapse_to}) that
+    drives periodic snapshot reports on the simulated timeline. *)
 
 val create :
   ?name:string ->
@@ -90,6 +102,15 @@ val spans : t -> Fbufs_span.Span.t option
 
 val set_series : t -> Fbufs_metrics.Timeseries.t option -> unit
 val series : t -> Fbufs_metrics.Timeseries.t option
+val set_seq_hook : t -> (t -> string -> unit) option -> unit
+val set_tick : t -> (float -> unit) option -> unit
+
+val seq_point : t -> string -> unit
+(** Declare a sequence point — a site (named like ["ipc.reply"],
+    ["transfer.secure"], ["pageout.balance"]) where the system's
+    invariants are expected to hold. Dispatches to the installed hook;
+    with none installed (the default) the cost is one pointer
+    comparison, preserving pay-for-play. *)
 
 val with_comp : t -> Fbufs_metrics.Component.t -> (unit -> 'a) -> 'a
 (** Run [f] with every {!charge} attributed to the given component,

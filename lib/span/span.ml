@@ -68,6 +68,13 @@ type t = {
   machines : (string, mctx) Hashtbl.t;
   mutable morder : string list;  (* newest first *)
   mutable violations : string list;  (* discipline breaches seen online *)
+  mutable tap : (transfer -> unit) option;
+  forgotten : (int, unit) Hashtbl.t;  (* tids evicted by {!forget} *)
+  (* one-entry context cache: charges arrive machine-by-machine in long
+     runs, and [Machine.t] passes the same name string every time, so a
+     physical-equality hit skips the hashtable on the per-charge path *)
+  mutable cached_name : string;
+  mutable cached_mc : mctx option;
 }
 
 let create () =
@@ -79,16 +86,25 @@ let create () =
     machines = Hashtbl.create 8;
     morder = [];
     violations = [];
+    tap = None;
+    forgotten = Hashtbl.create 64;
+    cached_name = "";
+    cached_mc = None;
   }
+
+let set_tap t f = t.tap <- f
 
 let fresh t =
   let i = t.next_id in
   t.next_id <- i + 1;
   i
 
-let mctx t machine =
+let mctx_slow t machine =
   match Hashtbl.find_opt t.machines machine with
-  | Some mc -> mc
+  | Some mc ->
+      t.cached_name <- machine;
+      t.cached_mc <- Some mc;
+      mc
   | None ->
       let mc =
         {
@@ -101,7 +117,14 @@ let mctx t machine =
       in
       Hashtbl.add t.machines machine mc;
       t.morder <- machine :: t.morder;
+      t.cached_name <- machine;
+      t.cached_mc <- Some mc;
       mc
+
+let mctx t machine =
+  if t.cached_name == machine then
+    match t.cached_mc with Some mc -> mc | None -> mctx_slow t machine
+  else mctx_slow t machine
 
 let violate t fmt = Printf.ksprintf (fun s -> t.violations <- s :: t.violations) fmt
 
@@ -165,7 +188,9 @@ let transfer_end t ~machine ~ts_us tid =
   if tid <> 0 then begin
     let mc = mctx t machine in
     match Hashtbl.find_opt t.transfers tid with
-    | None -> violate t "transfer_end: unknown transfer #%d" tid
+    | None ->
+        if not (Hashtbl.mem t.forgotten tid) then
+          violate t "transfer_end: unknown transfer #%d" tid
     | Some tr ->
         if
           not
@@ -186,7 +211,8 @@ let transfer_end t ~machine ~ts_us tid =
                   drain ()
                 end
           in
-          drain ()
+          drain ();
+          match t.tap with Some f -> f tr | None -> ()
         end
   end
 
@@ -240,7 +266,8 @@ let adopt t ~machine ~ts_us ~transfer ?(follows = 0) ?(domain = "")
   else
     match Hashtbl.find_opt t.transfers transfer with
     | None ->
-        violate t "adopt: unknown transfer #%d" transfer;
+        if not (Hashtbl.mem t.forgotten transfer) then
+          violate t "adopt: unknown transfer #%d" transfer;
         0
     | Some tr ->
         let mc = mctx t machine in
@@ -268,7 +295,8 @@ let flight t ~transfer ~follows ~start_us ~end_us ?(path_id = 0) kind =
   else
     match Hashtbl.find_opt t.transfers transfer with
     | None ->
-        violate t "flight: unknown transfer #%d" transfer;
+        if not (Hashtbl.mem t.forgotten transfer) then
+          violate t "flight: unknown transfer #%d" transfer;
         0
     | Some tr ->
         let sp =
@@ -308,6 +336,15 @@ let on_charge t ~machine ~comp us =
       let tr = Hashtbl.find t.transfers sp.transfer in
       tr.cells_ns.(i) <- tr.cells_ns.(i) + ns
   | [] -> mc.untracked_ns.(i) <- mc.untracked_ns.(i) + ns
+
+let forget t tid =
+  match Hashtbl.find_opt t.transfers tid with
+  | None -> ()
+  | Some tr ->
+      List.iter (fun (sp : span) -> Hashtbl.remove t.by_id sp.id) tr.spans;
+      Hashtbl.remove t.transfers tid;
+      t.torder <- List.filter (fun i -> i <> tid) t.torder;
+      Hashtbl.replace t.forgotten tid ()
 
 let context t ~machine =
   match Hashtbl.find_opt t.machines machine with

@@ -135,6 +135,22 @@ val context : t -> machine:string -> int * int
 val current : t -> machine:string -> int
 (** The machine's current transfer id (0 when none). *)
 
+val set_tap : t -> (transfer -> unit) option -> unit
+(** Install (or clear) a callback fired by {!transfer_end} with the
+    completed transfer, after its root span closes. Late adoptions (an
+    ack continuing the transfer after the root closed) are not yet in
+    [spans] when the tap fires. Used by the flight recorder's head
+    sampler; [None] by default, costing one pointer compare per close. *)
+
+val forget : t -> int -> unit
+(** Evict a transfer and its spans from the sink, bounding memory for
+    long recording runs. The tid is remembered so late operations on it
+    ({!adopt}, {!flight}, {!transfer_end}) silently return 0 instead of
+    recording a violation. Machine arrival counters are untouched, so
+    {!check}'s charge-partition invariants are no longer meaningful on a
+    sink that has forgotten transfers (a recorder sink is lossy by
+    design). Unknown tids are ignored. *)
+
 (** {1 Queries} *)
 
 val transfers : t -> transfer list

@@ -185,7 +185,7 @@ let span_line (sp : Span.span) =
       ("charges_ns", ns_list sp.Span.charges_ns);
     ]
 
-let jsonl t =
+let jsonl_of_transfers trs =
   let buf = Buffer.create 65536 in
   List.iter
     (fun (tr : Span.transfer) ->
@@ -196,8 +196,10 @@ let jsonl t =
           Json.to_buffer buf (span_line sp);
           Buffer.add_char buf '\n')
         (Span.spans_of tr))
-    (Span.transfers t);
+    trs;
   Buffer.contents buf
+
+let jsonl t = jsonl_of_transfers (Span.transfers t)
 
 let write_jsonl path t =
   let oc = open_out path in

@@ -13,6 +13,10 @@ val jsonl : Span.t -> string
 (** One JSON object per line: each transfer line followed by its span
     lines, in creation order. Open spans serialize [end_us] as [null]. *)
 
+val jsonl_of_transfers : Span.transfer list -> string
+(** {!jsonl} over an explicit transfer list (e.g. the flight recorder's
+    sampled root ring); output round-trips through {!parse_jsonl}. *)
+
 val write_jsonl : string -> Span.t -> unit
 
 exception Parse_error of string

@@ -19,3 +19,8 @@ val write_jsonl : Trace.t -> string -> unit
 (** One raw event per line:
     [{"ts":..,"machine":..,"domain":..,"path":..,"kind":..,"ph":..,...}].
     Suited to grep/jq-style processing rather than timeline viewers. *)
+
+val jsonl_event : Trace.event -> Json.t
+(** The per-line JSON object used by {!write_jsonl}, for callers that
+    dump event subsets of their own (e.g. the flight recorder's sampled
+    reservoir) in the same format. *)

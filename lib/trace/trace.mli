@@ -39,18 +39,70 @@ type event = {
 
 type t
 
-val create : ?capacity:int -> unit -> t
-(** [capacity] bounds the number of buffered events; once full, further
-    events are counted in {!dropped} but not stored (histograms still
-    update). Unbounded by default. Raises [Invalid_argument] when
-    [capacity] is not positive. *)
+val create : ?ring:bool -> ?latency:bool -> ?capacity:int -> unit -> t
+(** [capacity] bounds the number of buffered events. By default, once
+    full, further events are counted in {!dropped} but not stored
+    (histograms still update). With [~ring:true] the sink becomes a
+    flight-recorder ring instead: when full, each new event overwrites
+    the {e oldest} retained one (the overwritten event counts in
+    {!dropped}), so the buffer always holds the most recent [capacity]
+    events. [~latency:false] skips the per-[(kind, path)] latency
+    histograms entirely — the log-bucketing is the most expensive part
+    of accepting an event, and an always-armed recorder ring has no
+    use for it ({!latency_table} renders empty). Unbounded by default.
+    Raises [Invalid_argument] when [capacity] is not positive, or when
+    [ring] is set without a [capacity]. *)
+
+val set_tap : t -> (event -> unit) option -> unit
+(** Install (or clear) a callback observing every event as it is pushed,
+    before any capacity/ring bookkeeping — the tap sees events the buffer
+    subsequently drops or overwrites. [None] by default, costing one
+    pointer compare per push. A generic tap forces the hot charge path
+    ({!complete_comp}) to materialize full event records; the flight
+    recorder uses the cheaper {!set_sampler} hook instead. *)
+
+type sampler = {
+  skip : float array;
+      (** Length-1 cell holding the weight budget until the next
+          acceptance. The trace decrements it by each event's sampling
+          weight (the duration for completes, 1.0 otherwise) inline —
+          an unboxed float-array store, no call, no allocation. *)
+  accept : event -> float -> float;
+      (** Called with the event and its weight when the budget reaches
+          zero; returns the next budget. Only now is the event record
+          materialized from the ring columns, so a sampler whose
+          steady-state accept rate is low (a full weighted reservoir
+          skipping in weight units) costs a float subtract and compare
+          per event. *)
+}
+
+val set_sampler : t -> sampler option -> unit
+
+val complete_comp :
+  t ->
+  ts_us:float ->
+  dur_us:float ->
+  machine:string ->
+  comp:string ->
+  string ->
+  unit
+(** [complete] specialized to the per-charge slice: at most one
+    [("comp", Str comp)] argument ([comp = ""] for none), no domain, no
+    path. In ring mode with no generic tap this writes the ring columns
+    directly without allocating an event record; otherwise it behaves
+    exactly like [complete], and the stored events are identical. *)
+
+val last_ts : t -> float
+(** Largest timestamp pushed so far (0.0 when none — reset by
+    {!clear}). *)
 
 val clear : t -> unit
 val event_count : t -> int
 val dropped : t -> int
 
 val events : t -> event list
-(** Buffered events in emission order. *)
+(** Buffered events in emission order (oldest retained first, including
+    across ring wraparound). *)
 
 val instant :
   t ->

@@ -107,6 +107,22 @@ let test_l6_sketch_is_a_registration () =
   lint_l6 "let s =\n  Mx.sketch ~name:\"walls_us\" ~help:\"h\" ()\n"
   |> expect_one ~rule:"L6" ~line:2 ~keyword:"fbufs_"
 
+(* The observability metric families are ordinary L6 citizens: the real
+   names register cleanly at module init, and a second unit claiming
+   either one is a cross-unit duplicate. *)
+let test_l6_covers_obs_names () =
+  Rules.reset_registered_metrics ();
+  let impl =
+    "let a = Mx.counter ~name:\"fbufs_obs_dumps_total\" ~help:\"h\" ()\n\
+     let b = Mx.counter ~name:\"fbufs_monitor_violations_total\" ~help:\"h\" ()\n"
+  in
+  let first = Rules.lint_unit ~file:"lib/demo/obs_one.ml" ~impl () in
+  check Alcotest.int "obs names register cleanly" 0 (List.length first);
+  Rules.lint_unit ~file:"lib/demo/obs_two.ml"
+    ~impl:"let c = Mx.counter ~name:\"fbufs_obs_dumps_total\" ~help:\"h\" ()\n"
+    ()
+  |> expect_one ~rule:"L6" ~line:1 ~keyword:"lib/demo/obs_one.ml"
+
 (* L7 *)
 
 let test_l7_never_closed () =
@@ -810,6 +826,7 @@ let () =
           tc "L6 duplicate in unit" `Quick test_l6_duplicate_within_unit;
           tc "L6 duplicate across units" `Quick test_l6_duplicate_across_units;
           tc "L6 sketch registration" `Quick test_l6_sketch_is_a_registration;
+          tc "L6 covers obs names" `Quick test_l6_covers_obs_names;
           tc "L7 never closed" `Quick test_l7_never_closed;
           tc "L7 partial close" `Quick test_l7_closed_on_some_paths;
           tc "L7 dangling transfer" `Quick test_l7_dangling_transfer;

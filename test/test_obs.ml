@@ -1,0 +1,388 @@
+(* The flight recorder, online monitors and trend gate.
+
+   The recorder's stores are bounded and seeded: the ring keeps exactly
+   the newest items, equal seeds over equal runs render byte-identical
+   dumps, and the dump trigger honours the debounce window and lifetime
+   cap. The planted admission bug (Policy.chaos_skip_threshold) must
+   surface as an online gauge violation whose dump round-trips through
+   the span parser — and the same fault must still fail the offline
+   differential checker, so the monitors are a preview of the checker,
+   not a replacement. The trend gate passes the committed snapshot
+   series and fails a synthetic step regression no pairwise diff would
+   see. *)
+
+open Fbufs
+module Machine = Fbufs_sim.Machine
+module Trace = Fbufs_trace.Trace
+module Mx = Fbufs_metrics.Metrics
+module Bench_diff = Fbufs_metrics.Bench_diff
+module Span_export = Fbufs_span.Span_export
+module Testbed = Fbufs_harness.Testbed
+module Policy = Fbufs_policy.Policy
+module Scenario = Fbufs_policy.Scenario
+module Check = Fbufs_check
+module Ring = Fbufs_obs.Ring
+module Recorder = Fbufs_obs.Recorder
+module Monitor = Fbufs_obs.Monitor
+module Trend = Fbufs_obs.Trend
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* Dump dirs under the system temp dir, so running the test executable
+   outside the dune sandbox cannot litter the working tree. *)
+let tmp_dump_dir name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "fbufs-%s-%d" name (Unix.getpid ()))
+
+(* -- ring --------------------------------------------------------------- *)
+
+let test_ring_wraparound () =
+  let r = Ring.create ~capacity:3 in
+  Alcotest.(check (option int)) "push 1" None (Ring.push r 1);
+  Alcotest.(check (option int)) "push 2" None (Ring.push r 2);
+  Alcotest.(check (option int)) "push 3" None (Ring.push r 3);
+  Alcotest.(check (option int)) "4 evicts 1" (Some 1) (Ring.push r 4);
+  Alcotest.(check (option int)) "5 evicts 2" (Some 2) (Ring.push r 5);
+  Alcotest.(check (list int)) "newest three, oldest first" [ 3; 4; 5 ]
+    (Ring.to_list r);
+  Alcotest.(check int) "length" 3 (Ring.length r);
+  Alcotest.(check int) "pushed counts everything" 5 (Ring.pushed r)
+
+let test_ring_trace_wraparound () =
+  let t = Trace.create ~ring:true ~capacity:4 () in
+  for i = 1 to 10 do
+    Trace.instant t ~ts_us:(float_of_int i) ~machine:"m"
+      (Printf.sprintf "e%d" i)
+  done;
+  let kinds = List.map (fun e -> e.Trace.kind) (Trace.events t) in
+  Alcotest.(check (list string)) "newest four, oldest first"
+    [ "e7"; "e8"; "e9"; "e10" ] kinds;
+  Alcotest.(check int) "overwrites counted as drops" 6 (Trace.dropped t)
+
+(* -- seeded sampling determinism ---------------------------------------- *)
+
+let small = { Recorder.default with event_capacity = 64; reservoir = 16 }
+
+(* Feed one fixed synthetic event stream — instants and completes with
+   spread-out durations, so reservoir weights differ — through an armed
+   recorder's own ring sink; return the dump it would write. Synthetic
+   events carry no process-global ids, so dumps can be compared byte
+   for byte within one process. *)
+let synthetic_dump config =
+  let r = Recorder.create config in
+  Recorder.with_armed r (fun () ->
+      let tr = Option.get !Machine.default_trace in
+      for i = 1 to 500 do
+        let ts = float_of_int i *. 3.0 in
+        if i mod 3 = 0 then
+          Trace.complete tr ~ts_us:ts
+            ~dur_us:(float_of_int (i mod 17) +. 0.5)
+            ~machine:"syn"
+            (Printf.sprintf "work%d" (i mod 5))
+        else
+          Trace.instant tr ~ts_us:ts ~machine:"syn"
+            (Printf.sprintf "mark%d" (i mod 7))
+      done;
+      Alcotest.(check int) "all events tapped" 500 (Recorder.events_seen r);
+      Recorder.render_dump r ~reason:"det")
+
+let test_same_seed_identical_dump () =
+  let a = synthetic_dump small and b = synthetic_dump small in
+  List.iter2
+    (fun (na, ca) (nb, cb) ->
+      Alcotest.(check string) ("file name " ^ na) na nb;
+      Alcotest.(check string) (na ^ " byte-identical") ca cb)
+    a b;
+  (* a different seed draws a different reservoir *)
+  let c = synthetic_dump { small with seed = 99 } in
+  Alcotest.(check bool) "different seed, different sample" false
+    (List.assoc "sampled.jsonl" a = List.assoc "sampled.jsonl" c)
+
+(* The recorder taps a live machine run: events flow, transfer roots are
+   seen and kept (counters, not byte comparisons — machine runs embed
+   process-global path and span ids). *)
+let test_recorder_taps_live_run () =
+  let r = Recorder.create small in
+  Recorder.with_armed r (fun () ->
+      let tb = Testbed.create ~name:"obs-det" () in
+      let src = Testbed.user_domain tb "src" in
+      let dst = Testbed.user_domain tb "dst" in
+      let alloc =
+        Testbed.allocator tb ~domains:[ src; dst ] Fbuf.cached_volatile
+      in
+      let m = tb.Testbed.m in
+      for i = 1 to 8 do
+        Machine.with_transfer m ~path_id:i "obs-xfer" (fun () ->
+            let fb = Allocator.alloc alloc ~npages:2 in
+            Fbufs_vm.Access.touch_write src ~vaddr:(Fbuf.vaddr fb) ~npages:2;
+            Transfer.send fb ~src ~dst;
+            Transfer.secure fb;
+            Transfer.free fb ~dom:dst;
+            Transfer.free fb ~dom:src)
+      done;
+      Alcotest.(check bool) "events observed" true (Recorder.events_seen r > 0);
+      Alcotest.(check int) "all eight roots seen" 8 (Recorder.roots_seen r);
+      Alcotest.(check int) "denom 1 keeps every root" 8 (Recorder.roots_kept r);
+      let dump = Recorder.render_dump r ~reason:"live" in
+      let kept = Span_export.parse_jsonl (List.assoc "spans.jsonl" dump) in
+      Alcotest.(check int) "all eight round-trip" 8 (List.length kept))
+
+let test_head_sampling_deterministic () =
+  let module Head = Fbufs_obs.Sample.Head in
+  let keeps seed =
+    let h = Head.create ~seed ~denom:4 in
+    List.init 200 (fun i -> Head.keep h ~path:(i + 1) ~label:"l")
+  in
+  let a = keeps 1 in
+  let kept = List.length (List.filter Fun.id a) in
+  Alcotest.(check bool)
+    (Printf.sprintf "1-in-4 sampling thins (kept %d of 200)" kept)
+    true
+    (kept > 0 && kept < 200);
+  Alcotest.(check (list bool)) "same seed, same subset" a (keeps 1);
+  Alcotest.(check bool) "different seed, different subset" false (a = keeps 2);
+  (* decisions are per-path, order-free: asking again flips nothing *)
+  Alcotest.(check (list bool)) "re-asking is stable" a (keeps 1)
+
+(* -- dump trigger debounce ---------------------------------------------- *)
+
+let test_trigger_debounce_and_cap () =
+  let r =
+    Recorder.create
+      {
+        Recorder.default with
+        dir = tmp_dump_dir "obs-debounce-dump";
+        debounce_us = 100.0;
+        max_dumps = 2;
+      }
+  in
+  Recorder.with_armed r (fun () ->
+      let tr = Option.get !Machine.default_trace in
+      let at ts = Trace.instant tr ~ts_us:ts ~machine:"m" "tick" in
+      at 0.0;
+      Alcotest.(check bool) "first fires" true (Recorder.trigger r ~reason:"a");
+      at 50.0;
+      Alcotest.(check bool) "inside window suppressed" false
+        (Recorder.trigger r ~reason:"b");
+      at 200.0;
+      Alcotest.(check bool) "past window fires" true
+        (Recorder.trigger r ~reason:"c");
+      at 400.0;
+      Alcotest.(check bool) "over cap suppressed" false
+        (Recorder.trigger r ~reason:"d");
+      Alcotest.(check bool) "force bypasses both" true
+        (Recorder.trigger ~force:true r ~reason:"exit");
+      Alcotest.(check int) "three dumps written" 3 (Recorder.dumps r))
+
+(* -- planted violation: monitors fire, dump round-trips ------------------ *)
+
+let test_planted_violation_monitors_and_dump () =
+  Fun.protect ~finally:(fun () -> Policy.chaos_skip_threshold := false)
+  @@ fun () ->
+  let mx = Mx.create () in
+  let saved = !Machine.default_metrics in
+  Machine.default_metrics := Some mx;
+  Fun.protect ~finally:(fun () -> Machine.default_metrics := saved)
+  @@ fun () ->
+  let r =
+    Recorder.create
+      {
+        Recorder.default with
+        dir = tmp_dump_dir "obs-violation-dump";
+        max_dumps = 1;
+      }
+  in
+  let mon = Monitor.create ~recorder:r { Monitor.default with grace = 0 } in
+  Recorder.with_armed r (fun () ->
+      Monitor.with_installed mon (fun () ->
+          Policy.chaos_skip_threshold := true;
+          (* Un-enforced admission leaks held pages until the arena is
+             exhausted; the crash is the fault's endgame — the monitors
+             must have flagged it (and dumped) well before. *)
+          try
+            ignore
+              (Scenario.run
+                 ~kind:(Policy.Fb_dynamic { alpha = 0.5 })
+                 Scenario.Incast)
+          with Fbufs_sim.Phys_mem.Out_of_memory -> ()));
+  (* the gauge rule saw held pages over an un-enforced threshold *)
+  Alcotest.(check bool) "violations recorded" true
+    (Monitor.violation_count mon > 0);
+  Alcotest.(check bool) "a gauge violation among them" true
+    (List.exists (fun (rule, _) -> rule = "gauge") (Monitor.violations mon));
+  Alcotest.(check bool) "violation metric exported" true
+    (Mx.total_by_name mx ~name:"fbufs_monitor_violations_total" > 0.0);
+  Alcotest.(check int) "violation triggered the dump" 1 (Recorder.dumps r);
+  (* the dump round-trips: span lines parse back, and the violation left
+     its marker in the recorded event stream *)
+  let dump = Recorder.render_dump r ~reason:"post" in
+  let (_ : Fbufs_span.Span.transfer list) =
+    Span_export.parse_jsonl (List.assoc "spans.jsonl" dump)
+  in
+  Alcotest.(check bool) "violation marker in events" true
+    (contains (List.assoc "events.jsonl" dump) "monitor.violation");
+  Alcotest.(check bool) "meta names the reason" true
+    (contains (List.assoc "meta.json" dump) "post")
+
+(* The monitors are a preview, not a replacement: the same planted fault
+   must still fail the offline differential checker. *)
+let test_planted_violation_still_fails_checker () =
+  Fun.protect ~finally:(fun () -> Policy.chaos_skip_threshold := false)
+  @@ fun () ->
+  Policy.chaos_skip_threshold := true;
+  let report, _ops = Check.Driver.run ~seed:1 ~ops:400 ~adversary:true in
+  Alcotest.(check bool) "offline checker catches the same fault" true
+    (Check.Driver.failed report)
+
+(* Monitors on a healthy metered run stay silent. *)
+let test_monitors_silent_on_healthy_run () =
+  let mx = Mx.create () in
+  let saved = !Machine.default_metrics in
+  Machine.default_metrics := Some mx;
+  Fun.protect ~finally:(fun () -> Machine.default_metrics := saved)
+  @@ fun () ->
+  let mon = Monitor.create Monitor.default in
+  Monitor.with_installed mon (fun () ->
+      ignore
+        (Scenario.run ~kind:(Policy.Fb_dynamic { alpha = 0.5 }) Scenario.Incast));
+  Alcotest.(check bool) "sequence points observed" true (Monitor.checks mon > 0);
+  Alcotest.(check int) "no violations" 0 (Monitor.violation_count mon)
+
+(* -- trend gate --------------------------------------------------------- *)
+
+let row name ns = { Bench_diff.name; ns_per_run = Some ns; r_square = None }
+
+let snapshots series =
+  List.mapi
+    (fun i points ->
+      (Printf.sprintf "S%d" i, List.map (fun (n, v) -> row n v) points))
+    series
+
+let test_trend_flat_series_passes () =
+  let named =
+    snapshots
+      [
+        [ ("a", 100.0); ("b", 50.0) ];
+        [ ("a", 103.0); ("b", 49.0) ];
+        [ ("a", 98.0); ("b", 51.0) ];
+        [ ("a", 101.0); ("b", 50.5) ];
+      ]
+  in
+  let r = Trend.analyze_rows ~named ~tolerance_pct:50.0 in
+  Alcotest.(check bool) "flat series passes" false r.Trend.failed
+
+(* A creeping regression split across snapshots: every pairwise step is
+   inside a 50% tolerance, the accumulated step is not. *)
+let test_trend_catches_split_regression () =
+  let named =
+    snapshots
+      [
+        [ ("a", 100.0) ];
+        [ ("a", 101.0) ];
+        [ ("a", 140.0) ];
+        [ ("a", 185.0) ];
+        [ ("a", 240.0) ];
+      ]
+  in
+  let r = Trend.analyze_rows ~named ~tolerance_pct:50.0 in
+  Alcotest.(check bool) "series regression caught" true r.Trend.failed;
+  let v = List.find (fun v -> v.Trend.bench = "a") r.Trend.verdicts in
+  Alcotest.(check bool) "verdict marks the benchmark" true v.Trend.regressed;
+  Alcotest.(check bool) "changepoint located" true (v.Trend.change_at <> None);
+  (* every pairwise step stays inside the tolerance the series gate
+     still fails on *)
+  List.iter2
+    (fun (_, old_rows) (_, new_rows) ->
+      let d = Bench_diff.diff ~old_:old_rows ~new_:new_rows ~tolerance_pct:50.0 in
+      Alcotest.(check bool) "pairwise step passes" false d.Bench_diff.failed)
+    (List.filteri (fun i _ -> i < List.length named - 1) named)
+    (List.tl named)
+
+let test_trend_missing_latest_fails () =
+  let named =
+    snapshots [ [ ("a", 100.0); ("b", 50.0) ]; [ ("a", 100.0) ] ]
+  in
+  let r = Trend.analyze_rows ~named ~tolerance_pct:50.0 in
+  Alcotest.(check bool) "dropped benchmark fails the gate" true r.Trend.failed;
+  let v = List.find (fun v -> v.Trend.bench = "b") r.Trend.verdicts in
+  Alcotest.(check bool) "marked missing" true v.Trend.missing_latest
+
+let test_trend_renders_verdict_line () =
+  let named = snapshots [ [ ("a", 100.0) ]; [ ("a", 300.0) ] ] in
+  let r = Trend.analyze_rows ~named ~tolerance_pct:50.0 in
+  Alcotest.(check bool) "fails" true r.Trend.failed;
+  Alcotest.(check bool) "render says FAIL" true (contains (Trend.render r) "FAIL")
+
+(* The committed snapshot series itself must pass the gate — the same
+   invocation CI runs. *)
+let test_trend_committed_series_passes () =
+  let files =
+    List.map
+      (fun f -> if Sys.file_exists f then f else "../" ^ f)
+      [
+        "BENCH_PR2.json";
+        "BENCH_PR4.json";
+        "BENCH_PR5.json";
+        "BENCH_PR6.json";
+        "BENCH_PR7.json";
+        "BENCH_PR8.json";
+        "BENCH_PR10.json";
+      ]
+  in
+  match List.for_all Sys.file_exists files with
+  | false -> Alcotest.skip ()
+  | true ->
+      let r = Trend.analyze ~files ~tolerance_pct:50.0 in
+      if r.Trend.failed then
+        Alcotest.failf "committed series fails the trend gate:@.%s"
+          (Trend.render r)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "wraparound" `Quick test_ring_wraparound;
+          Alcotest.test_case "trace ring wraparound" `Quick
+            test_ring_trace_wraparound;
+        ] );
+      ( "sampling",
+        [
+          Alcotest.test_case "same seed, identical dump" `Quick
+            test_same_seed_identical_dump;
+          Alcotest.test_case "recorder taps a live run" `Quick
+            test_recorder_taps_live_run;
+          Alcotest.test_case "head sampling thins deterministically" `Quick
+            test_head_sampling_deterministic;
+        ] );
+      ( "trigger",
+        [
+          Alcotest.test_case "debounce window and dump cap" `Quick
+            test_trigger_debounce_and_cap;
+        ] );
+      ( "monitors",
+        [
+          Alcotest.test_case "planted violation dumps and round-trips" `Quick
+            test_planted_violation_monitors_and_dump;
+          Alcotest.test_case "same fault fails the offline checker" `Quick
+            test_planted_violation_still_fails_checker;
+          Alcotest.test_case "silent on a healthy run" `Quick
+            test_monitors_silent_on_healthy_run;
+        ] );
+      ( "trend",
+        [
+          Alcotest.test_case "flat series passes" `Quick
+            test_trend_flat_series_passes;
+          Alcotest.test_case "split regression caught" `Quick
+            test_trend_catches_split_regression;
+          Alcotest.test_case "missing latest fails" `Quick
+            test_trend_missing_latest_fails;
+          Alcotest.test_case "render verdict" `Quick
+            test_trend_renders_verdict_line;
+          Alcotest.test_case "committed series passes" `Quick
+            test_trend_committed_series_passes;
+        ] );
+    ]

@@ -308,6 +308,93 @@ let test_policy_not_linked_into_bench () =
         (contains src "fbufs_policy"))
     [ "bench/dune"; "lib/harness/dune" ]
 
+(* And for the observability layer: recorder, monitors and trend live
+   outside the measured mechanism; arming them is an explicit per-run
+   act, never a link-time default of the benchmark or harness. *)
+let test_obs_not_linked_into_bench () =
+  List.iter
+    (fun dune_file ->
+      let src = read_file (in_tree dune_file) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s does not link fbufs_obs" dune_file)
+        false
+        (contains src "fbufs_obs"))
+    [ "bench/dune"; "lib/harness/dune"; "examples/dune" ]
+
+(* The observability layer rides the same sink refs: with no recorder
+   armed and no monitor installed, a cycle pays nothing beyond the
+   existing pointer comparisons. The bare side must stay within noise of
+   the armed side, which does strictly more (ring push, reservoir offer,
+   rule evaluation per sequence point). *)
+let test_obs_unarmed_pays_nothing () =
+  let module R = Fbufs_obs.Recorder in
+  let module Mon = Fbufs_obs.Monitor in
+  let bare_tb = Testbed.create () in
+  let app_b = Testbed.user_domain bare_tb "app" in
+  let alloc_b =
+    Testbed.allocator bare_tb ~domains:[ app_b ] Fbuf.cached_volatile
+  in
+  let r = R.create { R.default with dir = "obs-perf-unused" } in
+  let mon = Mon.create ~recorder:r Mon.default in
+  let armed_tb, armed_ns, bare_ns =
+    R.with_armed r @@ fun () ->
+    Mon.with_installed mon @@ fun () ->
+    let armed_tb = Testbed.create () in
+    let app_a = Testbed.user_domain armed_tb "app" in
+    let alloc_a =
+      Testbed.allocator armed_tb ~domains:[ app_a ] Fbuf.cached_volatile
+    in
+    let cycle tb alloc dom () =
+      alloc_free alloc dom 8 ();
+      Fbufs_sim.Machine.seq_point tb.Testbed.m "perf"
+    in
+    let armed_ns, bare_ns =
+      interleaved_medians
+        ~fresh:(cycle armed_tb alloc_a app_a)
+        ~cached:(cycle bare_tb alloc_b app_b)
+    in
+    (armed_tb, armed_ns, bare_ns)
+  in
+  ignore armed_tb;
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "median unarmed cycle (%.0f ns) <= 1.05 * median armed cycle (%.0f ns)"
+       bare_ns armed_ns)
+    true
+    (bare_ns <= armed_ns *. 1.05)
+
+(* End-to-end bound on the armed cost: a Table 1 run with the recorder
+   tapping every event at default sampling stays within 1.10x of the
+   bare run. Whole runs are the unit of measurement here, so one run per
+   trial, medians over five. *)
+let test_recorder_armed_table1_overhead () =
+  let module R = Fbufs_obs.Recorder in
+  let time_once f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let bare () = ignore (Fbufs_harness.Exp_table1.run ()) in
+  let armed () =
+    let r = R.create { R.default with dir = "obs-perf-unused" } in
+    R.with_armed r bare
+  in
+  let armed_s = ref [] and bare_s = ref [] in
+  (* warmup one pair, then interleave *)
+  bare ();
+  armed ();
+  for _ = 1 to trials do
+    armed_s := time_once armed :: !armed_s;
+    bare_s := time_once bare :: !bare_s
+  done;
+  let armed_m = median !armed_s and bare_m = median !bare_s in
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "median armed table1 (%.1f ms) <= 1.10 * median bare table1 (%.1f ms)"
+       (armed_m *. 1e3) (bare_m *. 1e3))
+    true
+    (armed_m <= bare_m *. 1.10)
+
 (* The interprocedural layer re-analyzes the whole tree on every lint
    run (parse, call graph, SCC fixpoint, abstract interpretation), so a
    quadratic blowup in the fixpoint or resolver would land here first.
@@ -367,6 +454,15 @@ let () =
             test_lint_not_linked_into_bench;
           Alcotest.test_case "policy stays off the hot path" `Quick
             test_policy_not_linked_into_bench;
+          Alcotest.test_case "obs stays off the hot path" `Quick
+            test_obs_not_linked_into_bench;
+        ] );
+      ( "obs overhead",
+        [
+          Alcotest.test_case "unarmed pays nothing" `Quick
+            test_obs_unarmed_pays_nothing;
+          Alcotest.test_case "armed table1 within 1.10x" `Slow
+            test_recorder_armed_table1_overhead;
         ] );
       ( "lint runtime",
         [
